@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark suite.
+
+All benchmarks share one session-scoped case study sized so the whole
+suite finishes in minutes on a laptop (the paper's full-scale runs took
+up to 48 hours of LP time; EXPERIMENTS.md maps the scales).  Sweep
+results are cached in a session dict so the headline-range benchmark
+can aggregate without re-running the expensive sweeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import CaseStudy, CaseStudyConfig
+
+BENCH_CONFIG = CaseStudyConfig(
+    num_documents=800,
+    vocabulary_size=2500,
+    words_per_doc=90.0,
+    membership_exponent=0.2,
+    topic_size_range=(2, 5),
+    num_queries=12_000,
+    num_topics=250,
+    topic_query_fraction=0.85,
+    drift_fraction=0.02,
+    min_support=2,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="session")
+def study() -> CaseStudy:
+    """The shared synthetic case study."""
+    return CaseStudy.build(BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def results_cache() -> dict:
+    """Cross-module cache of expensive sweep results."""
+    return {}

@@ -1,0 +1,54 @@
+"""Ablation: per-component LP decomposition.
+
+Objects interact only through correlated-pair chains, so the LP splits
+exactly along connected components (the capacity coupling is loose in
+the conservative regime).  This bench compares monolithic vs
+decomposed planning at full optimization scope — same quality, smaller
+LPs — quantifying the path to paper-scale vocabularies.
+"""
+
+import time
+
+from repro.analysis.reporting import format_table
+from repro.core.decompose import correlation_components
+from repro.core.lprr import LPRRPlanner
+
+NUM_NODES = 10
+
+
+def test_decomposition(benchmark, study):
+    problem = study.placement_problem(NUM_NODES)
+    components = correlation_components(problem)
+    multi = [c for c in components if len(c) >= 2]
+
+    def run():
+        results = {}
+        for label, kwargs in (("monolithic", {}), ("decomposed", {"decompose": True})):
+            start = time.perf_counter()
+            outcome = LPRRPlanner(seed=0, rounding_trials=5, **kwargs).plan(problem)
+            elapsed = time.perf_counter() - start
+            replay = study.replay_cost(outcome.placement)
+            results[label] = (elapsed, outcome.lp_stats.solve_seconds, replay)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\ncorrelation graph: {len(components)} components "
+        f"({len(multi)} non-singleton; largest has {len(multi[0])} objects)"
+    )
+    print(
+        format_table(
+            ["mode", "total s", "LP solve s", "replayed bytes"],
+            [[label, *values] for label, values in results.items()],
+            float_format="{:.3f}",
+        )
+    )
+
+    mono_elapsed, mono_lp, mono_bytes = results["monolithic"]
+    deco_elapsed, deco_lp, deco_bytes = results["decomposed"]
+    # Equivalent placement quality (both colocate every component that
+    # fits; rounding noise bounded).
+    assert deco_bytes <= mono_bytes * 1.15
+    assert mono_bytes <= deco_bytes * 1.15
+    # The decomposition genuinely splits the work.
+    assert len(multi) > 10

@@ -1,0 +1,55 @@
+"""Ablation: how much of LPRR's win is just "any decent heuristic"?
+
+The related work points at the task-assignment literature's local
+heuristics.  This bench runs the full heuristic ladder at one setting —
+greedy (the paper's baseline), steepest-descent local search with swaps
+(the classic task-assignment move), and LPRR — to locate the paper's
+algorithm on it.  Expected ordering: local search recovers much of the
+greedy-to-LPRR gap (it can undo early mistakes), but LPRR stays ahead
+— its component-level view is global from the start.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core.local_search import local_search_placement
+from repro.core.partial import scoped_placement
+
+NUM_NODES = 10
+SCOPE = 400
+
+
+def test_heuristic_ladder(benchmark, study):
+    problem = study.placement_problem(NUM_NODES)
+
+    def run():
+        hash_bytes = study.replay_cost(study.place_hash(NUM_NODES))
+        greedy_bytes = study.replay_cost(study.place_greedy(NUM_NODES, SCOPE))
+        local = scoped_placement(
+            problem,
+            SCOPE,
+            lambda sub: local_search_placement(sub, rng=0),
+            capacity_factor=2.0,
+        )
+        local_bytes = study.replay_cost(local)
+        lprr_bytes = study.replay_cost(study.place_lprr(NUM_NODES, SCOPE))
+        return hash_bytes, greedy_bytes, local_bytes, lprr_bytes
+
+    hash_bytes, greedy_bytes, local_bytes, lprr_bytes = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print(
+        "\n"
+        + format_table(
+            ["strategy", "bytes", "vs hash"],
+            [
+                ["hash", hash_bytes, 1.0],
+                ["greedy", greedy_bytes, greedy_bytes / hash_bytes],
+                ["local search", local_bytes, local_bytes / hash_bytes],
+                ["LPRR", lprr_bytes, lprr_bytes / hash_bytes],
+            ],
+        )
+    )
+
+    # The ladder ordering.
+    assert local_bytes < greedy_bytes
+    assert lprr_bytes <= local_bytes * 1.10
+    assert lprr_bytes < greedy_bytes

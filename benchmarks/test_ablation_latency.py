@@ -1,0 +1,65 @@
+"""Ablation: byte savings translate into latency savings.
+
+The paper reports communication volume; this bench replays the same
+query stream through the timing simulator (Poisson arrivals, FCFS
+uplinks, wire + scan time) under hash and LPRR placements and checks
+that the byte reduction shows up as mean and tail latency reduction.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.search.simulation import TimingModel, simulate_latencies
+
+NUM_NODES = 10
+SCOPE = 400
+TIMING = TimingModel(
+    bandwidth_bytes_per_s=50e6, link_latency_s=0.3e-3, scan_bytes_per_s=2e9
+)
+
+
+def test_latency_comparison(benchmark, study):
+    placements = {
+        "hash": study.place_hash(NUM_NODES),
+        "lprr": study.place_lprr(NUM_NODES, SCOPE),
+    }
+
+    def run():
+        return {
+            name: simulate_latencies(
+                study.index,
+                placement,
+                study.log,
+                arrival_rate_qps=500.0,
+                timing=TIMING,
+                seed=0,
+            )
+            for name, placement in placements.items()
+        }
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            report.mean_s * 1e3,
+            report.percentile_s(95) * 1e3,
+            report.percentile_s(99) * 1e3,
+            float(report.uplink_utilization().max()),
+        ]
+        for name, report in reports.items()
+    ]
+    print(
+        "\n"
+        + format_table(
+            ["placement", "mean ms", "p95 ms", "p99 ms", "max uplink util"],
+            rows,
+            float_format="{:.4f}",
+        )
+    )
+
+    hash_report, lprr_report = reports["hash"], reports["lprr"]
+    assert lprr_report.mean_s < hash_report.mean_s
+    assert lprr_report.percentile_s(95) <= hash_report.percentile_s(95) + 1e-9
+    # Less traffic -> lower peak uplink pressure.
+    assert (
+        lprr_report.uplink_utilization().max()
+        <= hash_report.uplink_utilization().max() + 1e-9
+    )

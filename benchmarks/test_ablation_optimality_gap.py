@@ -1,0 +1,68 @@
+"""Ablation: LPRR vs the exact optimum on small instances (Theorem 2).
+
+The expected-optimality guarantee says best-of-k LPRR should land at or
+near the true optimum when instances are small enough to solve exactly.
+This bench runs a batch of random small CCA instances through exact
+branch-and-bound, LPRR, and greedy, and reports the mean optimality
+gaps.
+"""
+
+import numpy as np
+
+from repro.core.exact import solve_exact
+from repro.core.greedy import greedy_placement
+from repro.core.lprr import LPRRPlanner
+from repro.core.problem import PlacementProblem
+
+NUM_INSTANCES = 12
+
+
+def random_instance(seed):
+    rng = np.random.default_rng(seed)
+    t = int(rng.integers(8, 13))
+    n = int(rng.integers(2, 4))
+    objects = {f"o{i}": float(rng.uniform(1, 4)) for i in range(t)}
+    capacity = sum(objects.values()) / n * 1.6
+    corr = {}
+    for i in range(t):
+        for j in range(i + 1, t):
+            if rng.random() < 0.4:
+                corr[(f"o{i}", f"o{j}")] = float(rng.uniform(0.05, 1.0))
+    return PlacementProblem.build(objects, {k: capacity for k in range(n)}, corr)
+
+
+def test_optimality_gap(benchmark, study):
+    def run_batch():
+        gaps_lprr, gaps_greedy, bound_gaps = [], [], []
+        for seed in range(NUM_INSTANCES):
+            problem = random_instance(seed)
+            exact = solve_exact(problem)
+            planner = LPRRPlanner(
+                capacity_factor=None, rounding_trials=40, seed=seed,
+                capacity_tolerance=0.0,
+            )
+            lprr = planner.plan(problem)
+            greedy = greedy_placement(problem)
+            base = exact.cost + 1e-9
+            gaps_lprr.append(lprr.cost / base)
+            gaps_greedy.append(greedy.communication_cost() / base)
+            bound_gaps.append(lprr.lp_lower_bound / base)
+        return gaps_lprr, gaps_greedy, bound_gaps
+
+    gaps_lprr, gaps_greedy, bound_gaps = benchmark.pedantic(
+        run_batch, rounds=1, iterations=1
+    )
+    print(
+        f"\nLPRR/optimal: mean {np.mean(gaps_lprr):.3f} max {np.max(gaps_lprr):.3f}; "
+        f"greedy/optimal: mean {np.mean(gaps_greedy):.3f}; "
+        f"LP bound/optimal: mean {np.mean(bound_gaps):.3f}"
+    )
+
+    # The LP bound never exceeds the optimum.
+    assert max(bound_gaps) <= 1.0 + 1e-6
+    # Best-of-40 LPRR is near-optimal on average ...
+    assert np.mean(gaps_lprr) < 1.25
+    # ... and never catastrophically bad.
+    assert np.max(gaps_lprr) < 2.0
+    # LPRR at least matches greedy in aggregate.
+    assert np.mean(gaps_lprr) <= np.mean(gaps_greedy) + 0.05

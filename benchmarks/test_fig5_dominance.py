@@ -1,0 +1,39 @@
+"""Figure 5: dominance of the most important keywords.
+
+Paper: a small prefix of the importance ranking covers a large share
+of both cumulative index size and cumulative inter-keyword
+communication cost (the curves rise steeply then flatten), which is
+what makes partial optimization viable.  The bench asserts the same
+shape: the top ~20% of keywords cover well over half of the pair
+communication weight and a disproportionate share of index bytes.
+"""
+
+from repro.experiments.fig5 import DominanceConfig, run_dominance
+
+
+def test_fig5_dominance(benchmark, study):
+    result = benchmark.pedantic(
+        lambda: run_dominance(study, DominanceConfig()),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+
+    curves = result.curves
+    total = result.vocabulary_size
+    assert curves.checkpoints[-1] == total
+    # Full scope covers everything.
+    assert curves.size_fraction[-1] == 1.0
+    assert abs(curves.cost_fraction[-1] - 1.0) < 1e-9
+
+    # Shape: the first ~20% of keywords dominate communication cost.
+    fifth = next(
+        i for i, c in enumerate(curves.checkpoints) if c >= total * 0.2
+    )
+    assert curves.cost_fraction[fifth] > 0.60
+    # And cover disproportionately much index size (> their head count).
+    assert curves.size_fraction[fifth] > curves.checkpoints[fifth] / total
+
+    # Monotone non-decreasing curves.
+    assert list(curves.size_fraction) == sorted(curves.size_fraction)
+    assert list(curves.cost_fraction) == sorted(curves.cost_fraction)

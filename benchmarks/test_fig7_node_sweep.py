@@ -1,0 +1,42 @@
+"""Figure 7: normalized communication cost vs system size.
+
+Paper (scope 10000, 10..100 nodes): LPRR saves 73-86% against random
+hashing across all system sizes; greedy is only competitive at small
+node counts (large per-node capacity) and degrades as the node count
+grows.  The bench sweeps a scaled node grid and asserts: LPRR saves
+substantially everywhere, LPRR beats greedy at large node counts, and
+greedy's *relative* advantage decays with system size.
+"""
+
+from repro.experiments.fig7 import NodeSweepConfig, run_node_sweep
+
+NODE_COUNTS = (10, 20, 40, 70, 100)
+SCOPE = 400
+
+
+def test_fig7_node_sweep(benchmark, study, results_cache):
+    config = NodeSweepConfig(
+        node_counts=NODE_COUNTS, scope=SCOPE, rounding_trials=10
+    )
+    result = benchmark.pedantic(
+        lambda: run_node_sweep(study, config), rounds=1, iterations=1
+    )
+    results_cache["fig7"] = result
+    print("\n" + result.render())
+
+    norm_lprr = result.normalized_lprr
+    norm_greedy = result.normalized_greedy
+
+    # LPRR saves at every system size (paper: 73-86%).
+    assert all(v < 0.75 for v in norm_lprr)
+    lo, hi = result.lprr_saving_range
+    assert lo > 0.25
+
+    # LPRR beats greedy at the largest system size — greedy gets
+    # trapped in local optima at fine grouping granularity.
+    assert norm_lprr[-1] < norm_greedy[-1]
+
+    # Greedy degrades relative to LPRR as nodes grow.
+    gap_small = norm_greedy[0] - norm_lprr[0]
+    gap_large = norm_greedy[-1] - norm_lprr[-1]
+    assert gap_large >= gap_small - 0.05

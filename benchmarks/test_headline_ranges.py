@@ -1,0 +1,62 @@
+"""Headline result: savings ranges across the full experiment grid.
+
+Paper abstract: "our approach achieves 37-86% communication overhead
+reduction on a range of optimization scopes and system sizes.  The
+communication reduction is 30-78% compared to a correlation-aware
+greedy approach."  This bench aggregates the Figure 6 and Figure 7
+grids (reusing their cached results when the full suite runs) and
+checks the same two comparisons hold directionally at bench scale.
+"""
+
+from repro.experiments.fig6 import ScopeSweepConfig, run_scope_sweep
+from repro.experiments.fig7 import NodeSweepConfig, run_node_sweep
+
+
+def _collect(study, results_cache):
+    fig6 = results_cache.get("fig6")
+    if fig6 is None:
+        fig6 = run_scope_sweep(
+            study, ScopeSweepConfig(scopes=(100, 200, 400, 700), num_nodes=10)
+        )
+    fig7 = results_cache.get("fig7")
+    if fig7 is None:
+        fig7 = run_node_sweep(
+            study, NodeSweepConfig(node_counts=(10, 40, 100), scope=400)
+        )
+    return fig6, fig7
+
+
+def test_headline_savings_ranges(benchmark, study, results_cache):
+    fig6, fig7 = benchmark.pedantic(
+        lambda: _collect(study, results_cache), rounds=1, iterations=1
+    )
+
+    # All (scope, nodes) grid points: LPRR saving vs hash.
+    vs_hash = [1 - v for v in fig6.normalized_lprr] + [
+        1 - v for v in fig7.normalized_lprr
+    ]
+    # LPRR saving vs greedy at the same grid points.
+    vs_greedy = [
+        1 - l / g
+        for l, g in zip(fig6.lprr_bytes, fig6.greedy_bytes)
+    ] + [
+        1 - l / g
+        for l, g in zip(fig7.lprr_bytes, fig7.greedy_bytes)
+    ]
+
+    print(
+        f"\nLPRR vs hash savings: {min(vs_hash):.0%}..{max(vs_hash):.0%} "
+        "(paper: 37%..86%)"
+    )
+    print(
+        f"LPRR vs greedy savings: {min(vs_greedy):.0%}..{max(vs_greedy):.0%} "
+        "(paper: 30%..78%)"
+    )
+
+    # Shape: LPRR always saves materially vs hash, and the band is wide.
+    assert min(vs_hash) > 0.25
+    assert max(vs_hash) > 0.55
+    # LPRR never loses to greedy anywhere on the grid, and wins big
+    # somewhere (the paper's 30-78% band).
+    assert min(vs_greedy) > -0.05
+    assert max(vs_greedy) > 0.25

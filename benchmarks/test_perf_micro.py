@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the hot paths (multi-round timings).
+
+Unlike the figure benches (one-shot regenerations), these measure the
+steady-state cost of the operations a deployment calls repeatedly:
+cost evaluation, rounding, LP construction, and query execution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.lp import build_placement_lp, solve_placement_lp
+from repro.core.hashing import random_hash_placement
+from repro.core.importance import top_important
+from repro.core.rounding import round_fractional
+from repro.search.engine import DistributedSearchEngine
+
+
+@pytest.fixture(scope="module")
+def scoped(study):
+    problem = study.placement_problem(10)
+    ids = top_important(problem, 300)
+    caps = np.full(10, 2.0 * sum(problem.size_of(o) for o in ids) / 10)
+    return problem.subproblem(ids, capacities=caps)
+
+
+def test_perf_cost_evaluation(benchmark, study):
+    problem = study.placement_problem(10)
+    placement = random_hash_placement(problem)
+    cost = benchmark(placement.communication_cost)
+    assert cost >= 0
+
+
+def test_perf_importance_ranking(benchmark, study):
+    problem = study.placement_problem(10)
+    ranking = benchmark(lambda: top_important(problem, 400))
+    assert len(ranking) == 400
+
+
+def test_perf_lp_build(benchmark, scoped):
+    lp = benchmark(lambda: build_placement_lp(scoped))
+    assert lp.num_variables > 0
+
+
+def test_perf_rounding(benchmark, scoped):
+    fractional = solve_placement_lp(scoped)
+    rng = np.random.default_rng(0)
+    placement, _ = benchmark(lambda: round_fractional(fractional, rng))
+    assert placement.assignment.shape == (scoped.num_objects,)
+
+
+def test_perf_engine_query(benchmark, study):
+    placement = study.place_hash(10)
+    engine = DistributedSearchEngine(study.index, placement)
+    queries = [q for q in study.log][:50]
+
+    def run_batch():
+        return sum(engine.execute(q).bytes_transferred for q in queries)
+
+    total = benchmark(run_batch)
+    assert total >= 0

@@ -1,0 +1,79 @@
+"""Correlation-aware table placement for a distributed analytics DB.
+
+The paper's second motivating application, end to end on the database
+substrate: a star-ish schema of fact and dimension tables, a skewed
+join/aggregation workload, and table placement by hash, greedy, and
+LPRR — with every join's shipped bytes accounted.
+
+Run:  python examples/analytics_database.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core import LPRRPlanner, greedy_placement, random_hash_placement
+from repro.database import (
+    DistributedDatabase,
+    SchemaConfig,
+    generate_queries,
+    generate_schema,
+)
+
+NUM_NODES = 5
+
+
+def main() -> None:
+    config = SchemaConfig(
+        num_groups=10,
+        dimensions_per_group=3,
+        fact_rows=3000,
+        dimension_rows=400,
+        seed=2,
+    )
+    tables = generate_schema(config)
+    queries = generate_queries(
+        config, num_queries=3000, cross_group_fraction=0.08, seed=3
+    )
+    print(
+        f"{len(tables)} tables "
+        f"({sum(t.size_bytes for t in tables) // 1024} KiB total), "
+        f"{len(queries)} queries"
+    )
+
+    bootstrap = DistributedDatabase(tables, {t.name: 0 for t in tables})
+    problem = bootstrap.placement_problem(queries, NUM_NODES, min_support=2)
+    print(f"placement problem: {problem}\n")
+
+    capped = problem.with_capacities(2.0 * problem.total_size / NUM_NODES)
+    placements = {
+        "random hash": random_hash_placement(problem),
+        "greedy": greedy_placement(capped),
+        "LPRR": LPRRPlanner(seed=0).plan(problem).placement,
+    }
+
+    rows = []
+    baseline = None
+    for name, placement in placements.items():
+        mapping = {str(k): v for k, v in placement.to_mapping().items()}
+        stats = DistributedDatabase(tables, mapping).execute_log(queries)
+        if baseline is None:
+            baseline = stats.total_bytes
+        rows.append(
+            [
+                name,
+                stats.total_bytes,
+                stats.total_bytes / baseline,
+                stats.local_fraction,
+            ]
+        )
+    print(
+        format_table(
+            ["strategy", "bytes shipped", "vs hash", "local queries"], rows
+        )
+    )
+    print(
+        "\nEach entity group's fact + dimensions land on one node, so "
+        "in-group joins — the bulk of the workload — run locally."
+    )
+
+
+if __name__ == "__main__":
+    main()

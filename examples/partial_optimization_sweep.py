@@ -1,0 +1,69 @@
+"""Important-object partial optimization: cost vs offline effort.
+
+Section 3.1's trade-off made visible: as the optimization scope grows,
+the LP gets bigger (more offline computation) but covers more of the
+communication weight.  This example prints the Figure 5 dominance
+curves and then sweeps the scope, reporting LP size, solve time, and
+the replayed communication cost at each point.
+
+Run:  python examples/partial_optimization_sweep.py  (takes ~1-2 minutes)
+"""
+
+import time
+
+from repro.analysis.reporting import format_table
+from repro.core.lprr import LPRRPlanner
+from repro.experiments.common import CaseStudy, CaseStudyConfig
+from repro.experiments.fig5 import run_dominance
+
+NUM_NODES = 10
+SCOPES = (100, 200, 400, 800)
+
+
+def main() -> None:
+    study = CaseStudy.build(
+        CaseStudyConfig(
+            num_documents=600,
+            vocabulary_size=2000,
+            num_queries=10_000,
+            num_topics=200,
+            seed=3,
+        )
+    )
+    print(run_dominance(study).render())
+
+    problem = study.placement_problem(NUM_NODES)
+    hash_bytes = study.replay_cost(study.place_hash(NUM_NODES))
+    print(f"\nhash baseline: {hash_bytes} bytes\n")
+
+    rows = []
+    for scope in SCOPES:
+        planner = LPRRPlanner(scope=scope, seed=study.config.seed)
+        start = time.perf_counter()
+        result = planner.plan(problem)
+        elapsed = time.perf_counter() - start
+        replayed = study.replay_cost(result.placement)
+        rows.append(
+            [
+                scope,
+                result.lp_stats.num_variables,
+                result.lp_stats.num_constraints,
+                elapsed,
+                replayed / hash_bytes,
+            ]
+        )
+    print(
+        format_table(
+            ["scope", "LP vars", "LP constraints", "seconds", "cost vs hash"],
+            rows,
+            float_format="{:.3f}",
+        )
+    )
+    print(
+        "\nA small scope already captures most of the savings — the "
+        "skew in Figure 5 is what makes partial optimization feasible."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Re-optimization under workload drift, with a migration budget.
+
+The paper's premise (Figure 2B) is that keyword correlations are stable
+but not frozen: ~1.2% of pairs change materially per month.  A deployed
+system therefore re-optimizes periodically, and migrating indices costs
+the very network bytes placement is trying to save.
+
+This example places indices for period 1, drifts the workload, then
+compares three period-2 strategies:
+
+* keep the stale placement,
+* migrate fully to the fresh LPRR placement,
+* migrate only the best moves within a byte budget
+  (:func:`repro.core.migration.select_migrations`).
+
+Run:  python examples/replanning.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core import LPRRPlanner, Placement, select_migrations
+from repro.experiments.common import CaseStudy, CaseStudyConfig
+from repro.search.engine import DistributedSearchEngine, build_placement_problem
+
+NUM_NODES = 8
+SCOPE = 400
+
+
+def replay_bytes(study, log, placement) -> int:
+    engine = DistributedSearchEngine(study.index, placement)
+    return engine.execute_log(log).total_bytes
+
+
+def main() -> None:
+    study = CaseStudy.build(
+        CaseStudyConfig(
+            num_documents=600,
+            vocabulary_size=2000,
+            num_queries=10_000,
+            num_topics=200,
+            drift_fraction=0.15,  # exaggerated drift to make replanning visible
+            membership_exponent=0.2,
+            topic_size_range=(2, 5),
+            topic_query_fraction=0.85,
+            min_support=2,
+            seed=4,
+        )
+    )
+    problem1 = study.placement_problem(NUM_NODES)
+    placement1 = LPRRPlanner(scope=SCOPE, seed=0).plan(problem1).placement
+
+    # Period 2: same keywords, drifted correlations.
+    problem2 = build_placement_problem(
+        study.index, study.log_period2, NUM_NODES, min_support=2
+    )
+    # Extend period-2 problem over period-1's keyword set if needed.
+    stale = Placement.from_mapping(
+        problem2,
+        {
+            obj: placement1.node_of(obj) if obj in set(problem1.object_ids) else 0
+            for obj in problem2.object_ids
+        },
+    )
+    fresh = LPRRPlanner(scope=SCOPE, seed=0).plan(problem2).placement
+
+    total_index_bytes = int(problem2.total_size)
+    budget = total_index_bytes // 20  # allow moving 5% of the data
+    plan = select_migrations(stale, fresh, budget_bytes=budget)
+    budgeted = plan.apply(stale)
+
+    rows = [
+        ["stale (period-1 placement)", replay_bytes(study, study.log_period2, stale), 0],
+        [
+            f"budgeted migration ({plan.num_moves} moves)",
+            replay_bytes(study, study.log_period2, budgeted),
+            int(plan.bytes_moved),
+        ],
+        [
+            "full re-placement",
+            replay_bytes(study, study.log_period2, fresh),
+            int(sum(
+                problem2.size_of(o)
+                for o, k in zip(problem2.object_ids, stale.assignment != fresh.assignment)
+                if k
+            )),
+        ],
+    ]
+    print(f"migration budget: {budget} bytes (5% of total index size)\n")
+    print(
+        format_table(
+            ["strategy", "period-2 query bytes", "migration bytes"], rows
+        )
+    )
+    print(
+        "\nA small migration budget recovers most of the gap between the "
+        "stale and fresh placements — the stability the paper measures is "
+        "what makes this cheap."
+    )
+
+
+if __name__ == "__main__":
+    main()

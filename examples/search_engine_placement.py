@@ -1,0 +1,77 @@
+"""Distributed full-text search: the paper's case study, end to end.
+
+Generates a synthetic web corpus and query trace, derives keyword-pair
+correlations (two-smallest approximation for intersection queries),
+computes placements with all three strategies, and replays the trace
+through the distributed engine to measure real bytes moved.
+
+Run:  python examples/search_engine_placement.py  (takes ~1-2 minutes)
+"""
+
+from repro.analysis.reporting import format_table
+from repro.experiments.common import CaseStudy, CaseStudyConfig
+from repro.search.engine import DistributedSearchEngine
+
+NUM_NODES = 10
+SCOPE = 600  # most-important keywords subject to optimized placement
+
+
+def main() -> None:
+    config = CaseStudyConfig(
+        num_documents=800,
+        vocabulary_size=2500,
+        words_per_doc=90.0,
+        num_queries=12_000,
+        num_topics=250,
+        topic_size_range=(2, 5),
+        topic_query_fraction=0.85,
+        membership_exponent=0.2,
+        min_support=2,
+        seed=7,
+    )
+    print("generating corpus and query trace ...")
+    study = CaseStudy.build(config)
+    print(
+        f"  {config.num_documents} pages, vocabulary {len(study.index)}, "
+        f"{len(study.log)} queries (avg {study.log.average_keywords():.2f} keywords)"
+    )
+
+    problem = study.placement_problem(NUM_NODES)
+    print(f"  placement problem: {problem}\n")
+
+    placements = {
+        "random hash": study.place_hash(NUM_NODES),
+        "greedy": study.place_greedy(NUM_NODES, SCOPE),
+        "LPRR": study.place_lprr(NUM_NODES, SCOPE),
+    }
+
+    rows = []
+    hash_bytes = None
+    for name, placement in placements.items():
+        engine = DistributedSearchEngine(study.index, placement)
+        stats = engine.execute_log(study.log)
+        if name == "random hash":
+            hash_bytes = stats.total_bytes
+        rows.append(
+            [
+                name,
+                stats.total_bytes,
+                stats.total_bytes / hash_bytes,
+                stats.local_fraction,
+                placement.load_imbalance(),
+            ]
+        )
+    print(
+        format_table(
+            ["strategy", "bytes moved", "vs hash", "local queries", "load max/mean"],
+            rows,
+        )
+    )
+    print(
+        "\nPaper's result at this figure: LPRR cuts 37-86% of hash traffic, "
+        "greedy less — check the 'vs hash' column."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs where the `wheel`
+package is unavailable (offline environments)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,116 @@
+"""ASCII charts for terminal-rendered figures.
+
+The experiment ``render()`` methods print tables; these helpers add the
+actual curves so a terminal user sees the paper figure's shape at a
+glance.  Pure text, no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+MARKERS = "ox+*#@"
+
+
+def ascii_chart(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = False,
+    title: str = "",
+) -> str:
+    """Render one or more (x, y) series on a character grid.
+
+    Args:
+        series: Name -> (xs, ys); each series gets the next marker from
+            ``oxx+*#@`` and a legend line.
+        width: Plot area width in characters (>= 10).
+        height: Plot area height in rows (>= 4).
+        log_y: Plot ``log10(y)``; requires strictly positive y values.
+        title: Optional title line.
+
+    Returns:
+        The chart as a multi-line string (y-axis labels on the left,
+        x range below, legend last).
+    """
+    if width < 10 or height < 4:
+        raise ValueError("chart needs width >= 10 and height >= 4")
+    if not series:
+        raise ValueError("no series to plot")
+
+    points: list[tuple[str, list[float], list[float]]] = []
+    for name, (xs, ys) in series.items():
+        xs = [float(x) for x in xs]
+        ys = [float(y) for y in ys]
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r}: x and y lengths differ")
+        if not xs:
+            raise ValueError(f"series {name!r} is empty")
+        if log_y:
+            if any(y <= 0 for y in ys):
+                raise ValueError(f"series {name!r}: log scale needs y > 0")
+            ys = [math.log10(y) for y in ys]
+        points.append((name, xs, ys))
+
+    all_x = [x for _, xs, _ in points for x in xs]
+    all_y = [y for _, _, ys in points for y in ys]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, xs, ys) in enumerate(points):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, y in zip(xs, ys):
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = int(round((y - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    def y_label(value: float) -> str:
+        shown = 10**value if log_y else value
+        return f"{shown:9.3g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = y_label(y_hi)
+        elif r == height - 1:
+            label = y_label(y_lo)
+        else:
+            label = " " * 9
+        lines.append(f"{label} |{''.join(row)}|")
+    lines.append(" " * 10 + "+" + "-" * width + "+")
+    x_left, x_right = f"{x_lo:g}", f"{x_hi:g}"
+    pad = max(width - len(x_left) - len(x_right), 1)
+    lines.append(" " * 11 + x_left + " " * pad + x_right)
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {name}" for i, (name, _, _) in enumerate(points)
+    )
+    lines.append(" " * 11 + legend + ("   [log y]" if log_y else ""))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int | None = None) -> str:
+    """A one-line bar sparkline (block characters) of a series."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if width is not None and width > 0 and len(values) > width:
+        # Downsample by averaging buckets.
+        bucket = len(values) / width
+        values = [
+            sum(values[int(i * bucket) : max(int((i + 1) * bucket), int(i * bucket) + 1)])
+            / max(int((i + 1) * bucket) - int(i * bucket), 1)
+            for i in range(width)
+        ]
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(
+        blocks[min(int((v - lo) / span * (len(blocks) - 1) + 0.5), len(blocks) - 1)]
+        for v in values
+    )

@@ -1,0 +1,113 @@
+"""Strategy comparison harness.
+
+Every evaluation in this repository ends the same way: run several
+placement strategies on one problem, score each with an
+application-specific cost function, and print a normalized table.
+``compare_strategies`` is that loop as a reusable function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.analysis.reporting import format_table
+from repro.core.placement import Placement
+from repro.core.problem import PlacementProblem
+from repro.core.strategies import get_strategy
+
+CostFunction = Callable[[Placement], float]
+Strategy = Callable[[PlacementProblem], Placement]
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """One strategy's results on one problem."""
+
+    name: str
+    cost: float
+    normalized: float
+    feasible: bool
+    load_imbalance: float
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """All strategies' outcomes, normalized to the first entry."""
+
+    outcomes: tuple[StrategyOutcome, ...]
+    baseline: str
+
+    def best(self) -> StrategyOutcome:
+        """The cheapest strategy."""
+        return min(self.outcomes, key=lambda o: o.cost)
+
+    def outcome(self, name: str) -> StrategyOutcome:
+        """Look up one strategy's outcome.
+
+        Raises:
+            KeyError: For strategies not in the comparison.
+        """
+        for outcome in self.outcomes:
+            if outcome.name == name:
+                return outcome
+        raise KeyError(f"no outcome for strategy {name!r}")
+
+    def render(self) -> str:
+        """The comparison as an aligned text table."""
+        rows = [
+            [o.name, o.cost, o.normalized, str(o.feasible), o.load_imbalance]
+            for o in self.outcomes
+        ]
+        return format_table(
+            ["strategy", "cost", f"vs {self.baseline}", "feasible", "load max/mean"],
+            rows,
+        )
+
+
+def compare_strategies(
+    problem: PlacementProblem,
+    strategies: Mapping[str, Strategy] | list[str] | None = None,
+    cost: CostFunction | None = None,
+) -> ComparisonResult:
+    """Run strategies on a problem and normalize their costs.
+
+    Args:
+        problem: The CCA instance.
+        strategies: Either a name -> callable mapping, a list of
+            registry names, or None for the paper's three strategies
+            (``hash``, ``greedy``, ``lprr``).  The first entry is the
+            normalization baseline.
+        cost: Placement scorer; defaults to the model communication
+            cost (pass an engine-replay closure for measured bytes).
+
+    Returns:
+        A :class:`ComparisonResult` in the strategies' given order.
+    """
+    if strategies is None:
+        strategies = ["hash", "greedy", "lprr"]
+    if isinstance(strategies, list):
+        strategies = {name: get_strategy(name) for name in strategies}
+    if not strategies:
+        raise ValueError("no strategies to compare")
+    score = cost or (lambda placement: placement.communication_cost())
+
+    outcomes = []
+    baseline_cost: float | None = None
+    baseline_name = next(iter(strategies))
+    for name, strategy in strategies.items():
+        placement = strategy(problem)
+        value = float(score(placement))
+        if baseline_cost is None:
+            baseline_cost = value
+        normalized = value / baseline_cost if baseline_cost else 0.0
+        outcomes.append(
+            StrategyOutcome(
+                name=name,
+                cost=value,
+                normalized=normalized,
+                feasible=placement.is_feasible(),
+                load_imbalance=placement.load_imbalance(),
+            )
+        )
+    return ComparisonResult(outcomes=tuple(outcomes), baseline=baseline_name)

@@ -1,0 +1,139 @@
+"""Placement diagnostics: where is a placement leaving money?
+
+Operator-facing analysis of a concrete placement: which split pairs
+cost the most (the *regret list*), which single-object moves would pay
+immediately, and a per-node breakdown of incoming/outgoing pair weight.
+The adaptive loop and the examples use these to explain *why* a
+placement costs what it costs, not just how much.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.placement import Placement
+from repro.core.problem import NodeId, ObjectId
+
+
+@dataclass(frozen=True)
+class RegretPair:
+    """One split pair, with its objective contribution."""
+
+    a: ObjectId
+    b: ObjectId
+    weight: float
+    node_a: NodeId
+    node_b: NodeId
+
+
+@dataclass(frozen=True)
+class MoveSuggestion:
+    """A single-object relocation and its immediate payoff."""
+
+    obj: ObjectId
+    destination: NodeId
+    gain: float
+    fits_capacity: bool
+
+
+def regret_pairs(placement: Placement, top_k: int = 20) -> list[RegretPair]:
+    """The most expensive split pairs, descending by weight.
+
+    Args:
+        placement: The placement to diagnose.
+        top_k: How many pairs to return.
+    """
+    problem = placement.problem
+    if problem.num_pairs == 0:
+        return []
+    split = (
+        placement.assignment[problem.pair_index[:, 0]]
+        != placement.assignment[problem.pair_index[:, 1]]
+    )
+    indices = np.where(split)[0]
+    order = indices[np.argsort(-problem.pair_weights[indices], kind="stable")]
+    result = []
+    for p in order[:top_k]:
+        i, j = problem.pair_index[p]
+        result.append(
+            RegretPair(
+                a=problem.object_ids[i],
+                b=problem.object_ids[j],
+                weight=float(problem.pair_weights[p]),
+                node_a=problem.node_ids[placement.assignment[i]],
+                node_b=problem.node_ids[placement.assignment[j]],
+            )
+        )
+    return result
+
+
+def best_moves(
+    placement: Placement, top_k: int = 10, respect_capacity: bool = True
+) -> list[MoveSuggestion]:
+    """The most profitable single-object relocations, descending.
+
+    A move's gain is the split weight it heals minus the co-located
+    weight it breaks; only strictly positive gains are reported.
+
+    Args:
+        placement: The placement to diagnose.
+        top_k: How many suggestions to return.
+        respect_capacity: Only suggest destinations with room (moves to
+            full nodes are reported with ``fits_capacity=False`` when
+            this is off).
+    """
+    problem = placement.problem
+    t, n = problem.num_objects, problem.num_nodes
+    if problem.num_pairs == 0:
+        return []
+
+    # weight_to[i, k]: pair weight object i shares with node k.
+    weight_to = np.zeros((t, n))
+    for (i, j), weight in zip(problem.pair_index, problem.pair_weights):
+        if weight > 0:
+            weight_to[int(i), placement.assignment[int(j)]] += weight
+            weight_to[int(j), placement.assignment[int(i)]] += weight
+
+    loads = placement.node_loads()
+    here = weight_to[np.arange(t), placement.assignment]
+    gains = weight_to - here[:, None]
+    gains[np.arange(t), placement.assignment] = -np.inf
+
+    suggestions: list[MoveSuggestion] = []
+    flat = np.argsort(-gains, axis=None, kind="stable")
+    for position in flat:
+        obj, dst = divmod(int(position), n)
+        gain = gains[obj, dst]
+        if gain <= 1e-12 or len(suggestions) >= top_k:
+            break
+        fits = bool(
+            loads[dst] + problem.sizes[obj]
+            <= problem.capacities[dst] + 1e-9
+        )
+        if respect_capacity and not fits:
+            continue
+        suggestions.append(
+            MoveSuggestion(
+                obj=problem.object_ids[obj],
+                destination=problem.node_ids[dst],
+                gain=float(gain),
+                fits_capacity=fits,
+            )
+        )
+    return suggestions
+
+
+def node_cut_weights(placement: Placement) -> dict[NodeId, float]:
+    """Per-node total weight of split pairs incident to the node."""
+    problem = placement.problem
+    totals = np.zeros(problem.num_nodes)
+    for (i, j), weight in zip(problem.pair_index, problem.pair_weights):
+        ka, kb = placement.assignment[int(i)], placement.assignment[int(j)]
+        if ka != kb and weight > 0:
+            totals[ka] += weight
+            totals[kb] += weight
+    return {
+        node: float(totals[k]) for k, node in enumerate(problem.node_ids)
+    }

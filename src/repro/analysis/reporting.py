@@ -1,0 +1,61 @@
+"""Plain-text reporting helpers used by benchmarks and the CLI."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def normalize_to(values: Sequence[float], baseline: float) -> list[float]:
+    """Each value divided by a baseline (the paper normalizes costs to
+    random hash placement).
+
+    Raises:
+        ValueError: If the baseline is zero (nothing to normalize to).
+    """
+    if baseline == 0:
+        raise ValueError("cannot normalize to a zero baseline")
+    return [v / baseline for v in values]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render an aligned monospace table.
+
+    Floats use ``float_format``; everything else uses ``str``.
+    """
+    rendered_rows = []
+    for row in rows:
+        rendered_rows.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rendered_rows)
+    return "\n".join(out)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[float], y_format: str = "{:.4f}"
+) -> str:
+    """Render one named (x, y) series as compact text."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    points = ", ".join(f"{x}: {y_format.format(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {points}"

@@ -1,0 +1,83 @@
+"""Temporal stability of pair correlations (Figure 2B).
+
+The paper compares the top-1000 January pairs against their February
+probabilities: "only 1.2% keyword pairs have correlation changes that
+are greater-than-twice or less-than-half the originals."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from repro.analysis.skewness import pair_probability_curve
+
+Pair = tuple[Hashable, Hashable]
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Period-over-period comparison of pair correlations.
+
+    Attributes:
+        pairs: The reference period's top pairs, in rank order.
+        reference: Their probabilities in the reference period.
+        comparison: Their probabilities in the comparison period
+            (0 when a pair vanished).
+        unstable_fraction: Fraction of pairs whose probability changed
+            by more than 2x in either direction.
+    """
+
+    pairs: tuple[Pair, ...]
+    reference: tuple[float, ...]
+    comparison: tuple[float, ...]
+    unstable_fraction: float
+
+    @property
+    def stable_fraction(self) -> float:
+        """Complement of :attr:`unstable_fraction`."""
+        return 1.0 - self.unstable_fraction
+
+    def changes(self) -> list[float]:
+        """Per-pair probability ratios comparison/reference.
+
+        A vanished pair reports a ratio of 0; a reference probability
+        of 0 cannot occur (such pairs are never in the top ranking).
+        """
+        return [c / r if r > 0 else 0.0 for r, c in zip(self.reference, self.comparison)]
+
+
+def stability_report(
+    reference_correlations: Mapping[Pair, float],
+    comparison_correlations: Mapping[Pair, float],
+    top_k: int = 1000,
+    change_factor: float = 2.0,
+) -> StabilityReport:
+    """Measure how stable the top reference pairs are over time.
+
+    Args:
+        reference_correlations: Period-one pair probabilities (the
+            ranking period — the paper's January).
+        comparison_correlations: Period-two probabilities (February).
+        top_k: How many reference pairs to track.
+        change_factor: A pair is unstable when its probability grows
+            by more than this factor or shrinks below its reciprocal.
+
+    Returns:
+        A :class:`StabilityReport`.
+    """
+    if change_factor <= 1.0:
+        raise ValueError("change_factor must exceed 1")
+    pairs, reference = pair_probability_curve(reference_correlations, top_k)
+    comparison = [float(comparison_correlations.get(pair, 0.0)) for pair in pairs]
+    unstable = 0
+    for ref, cmp_ in zip(reference, comparison):
+        if cmp_ > ref * change_factor or cmp_ < ref / change_factor:
+            unstable += 1
+    fraction = unstable / len(pairs) if pairs else 0.0
+    return StabilityReport(
+        pairs=tuple(pairs),
+        reference=tuple(reference),
+        comparison=tuple(comparison),
+        unstable_fraction=fraction,
+    )

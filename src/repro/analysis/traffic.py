@@ -1,0 +1,110 @@
+"""Traffic and load distribution analysis.
+
+The paper stresses that "the communication reduction must be achieved
+by a balanced placement, without causing excessively above-average load
+at particular nodes".  These helpers quantify that balance — for byte
+counters (an engine's per-node sends, a network model's traffic
+matrix) and for storage loads — via max/mean ratios, coefficients of
+variation, and a normalized entropy that reads as "how evenly spread".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class BalanceReport:
+    """Distribution statistics over per-node quantities.
+
+    Attributes:
+        values: The per-node quantities analyzed, in node order.
+        max_over_mean: Peak divided by mean (1.0 = perfectly even).
+        coefficient_of_variation: Standard deviation over mean.
+        normalized_entropy: Shannon entropy over the distribution,
+            normalized to [0, 1] (1 = perfectly even).
+        hotspots: Indices of nodes above twice the mean.
+    """
+
+    values: tuple[float, ...]
+    max_over_mean: float
+    coefficient_of_variation: float
+    normalized_entropy: float
+    hotspots: tuple[int, ...]
+
+    @property
+    def is_balanced(self) -> bool:
+        """The paper's working criterion: nothing above 2x the mean."""
+        return not self.hotspots
+
+
+def balance_report(values: Sequence[float]) -> BalanceReport:
+    """Analyze any per-node quantity (bytes sent, storage load, ...).
+
+    Args:
+        values: One nonnegative number per node (at least one).
+
+    Returns:
+        A :class:`BalanceReport`.
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("need at least one node value")
+    if np.any(array < 0):
+        raise ValueError("values must be nonnegative")
+    mean = array.mean()
+    if mean == 0:
+        return BalanceReport(
+            values=tuple(array.tolist()),
+            max_over_mean=0.0,
+            coefficient_of_variation=0.0,
+            normalized_entropy=1.0,
+            hotspots=(),
+        )
+    shares = array / array.sum()
+    nonzero = shares[shares > 0]
+    entropy = float(-(nonzero * np.log(nonzero)).sum())
+    max_entropy = float(np.log(array.size)) if array.size > 1 else 1.0
+    hotspots = tuple(int(i) for i in np.where(array > 2.0 * mean)[0])
+    return BalanceReport(
+        values=tuple(array.tolist()),
+        max_over_mean=float(array.max() / mean),
+        coefficient_of_variation=float(array.std() / mean),
+        normalized_entropy=entropy / max_entropy if max_entropy > 0 else 1.0,
+        hotspots=hotspots,
+    )
+
+
+def sender_balance(
+    per_node_bytes: Mapping[NodeId, int], node_ids: Sequence[NodeId]
+) -> BalanceReport:
+    """Balance of an engine's per-node bytes-sent counters.
+
+    Nodes that never sent anything count as zeros, so a placement that
+    funnels all traffic through one node is flagged even when the
+    engine only recorded active senders.
+    """
+    values = [float(per_node_bytes.get(node, 0)) for node in node_ids]
+    return balance_report(values)
+
+
+def link_utilization(traffic_matrix: np.ndarray) -> BalanceReport:
+    """Balance over the directed links of a traffic matrix.
+
+    Args:
+        traffic_matrix: ``(n, n)`` bytes matrix (senders on rows), as
+            produced by :meth:`repro.cluster.network.NetworkModel.traffic_matrix`.
+    """
+    matrix = np.asarray(traffic_matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("traffic matrix must be square")
+    n = matrix.shape[0]
+    off_diagonal = matrix[~np.eye(n, dtype=bool)]
+    if off_diagonal.size == 0:
+        off_diagonal = np.zeros(1)
+    return balance_report(off_diagonal.tolist())

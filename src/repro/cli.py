@@ -1,0 +1,239 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro gen-queries  — generate a synthetic query log file
+    repro place        — compute a placement from a query log
+    repro evaluate     — replay a query log against a placement
+    repro experiment   — regenerate a paper figure (fig2/fig5/fig6/fig7/all)
+
+Run ``repro <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.core.greedy import greedy_placement
+from repro.core.hashing import random_hash_placement
+from repro.core.lprr import LPRRPlanner
+from repro.core.partial import scoped_placement
+from repro.experiments.common import CaseStudy, CaseStudyConfig
+from repro.search.engine import DistributedSearchEngine, build_placement_problem
+from repro.search.index import InvertedIndex
+from repro.search.query import QueryLog
+from repro.workloads.corpus_gen import generate_corpus
+from repro.workloads.query_gen import QueryWorkloadModel
+
+
+def _build_study(args: argparse.Namespace) -> CaseStudy:
+    config = CaseStudyConfig(
+        num_documents=args.documents,
+        vocabulary_size=args.vocabulary,
+        num_queries=args.queries,
+        seed=args.seed,
+    )
+    return CaseStudy.build(config)
+
+
+def _add_study_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--documents", type=int, default=1500, help="corpus size")
+    parser.add_argument("--vocabulary", type=int, default=4000, help="vocabulary size")
+    parser.add_argument("--queries", type=int, default=30000, help="trace length")
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+
+
+def cmd_gen_queries(args: argparse.Namespace) -> int:
+    """Generate a synthetic query log and write it to a file."""
+    vocabulary = [f"w{i:06d}" for i in range(args.vocabulary)]
+    model = QueryWorkloadModel(vocabulary, num_topics=args.topics, seed=args.seed)
+    log = model.generate(args.count, rng=args.seed)
+    log.save(args.output)
+    print(f"wrote {len(log)} queries (avg {log.average_keywords():.2f} keywords) to {args.output}")
+    return 0
+
+
+def cmd_place(args: argparse.Namespace) -> int:
+    """Compute a placement for the keywords of a query log."""
+    log = QueryLog.load(args.log)
+    corpus = generate_corpus(args.documents, args.vocabulary, seed=args.seed)
+    index = InvertedIndex.from_corpus(corpus)
+    problem = build_placement_problem(index, log, args.nodes, min_support=args.min_support)
+
+    if args.strategy == "hash":
+        placement = random_hash_placement(problem)
+    elif args.strategy == "greedy":
+        placement = scoped_placement(problem, args.scope, greedy_placement)
+    elif args.strategy == "lprr":
+        planner = LPRRPlanner(scope=args.scope, seed=args.seed)
+        placement = planner.plan(problem).placement
+    else:  # pragma: no cover - argparse choices guard this
+        raise ValueError(args.strategy)
+
+    mapping = {str(obj): int(node) for obj, node in placement.to_mapping().items()}
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(mapping, fh, indent=0, sort_keys=True)
+    print(
+        f"placed {problem.num_objects} keyword indices on {args.nodes} nodes "
+        f"with {args.strategy}; model cost {placement.communication_cost():.4g}; "
+        f"wrote {args.output}"
+    )
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    """Replay a query log against a stored placement."""
+    log = QueryLog.load(args.log)
+    corpus = generate_corpus(args.documents, args.vocabulary, seed=args.seed)
+    index = InvertedIndex.from_corpus(corpus)
+    with open(args.placement, encoding="utf-8") as fh:
+        mapping = {word: int(node) for word, node in json.load(fh).items()}
+    engine = DistributedSearchEngine(index, mapping)
+    stats = engine.execute_log(log)
+    print(
+        f"replayed {stats.queries} queries: {stats.total_bytes} bytes moved, "
+        f"{stats.local_fraction:.1%} local, "
+        f"{stats.mean_bytes_per_query:.1f} bytes/query"
+    )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Skewness/stability analysis of a query-log file (Figure 2 style)."""
+    from repro.analysis.skewness import pair_probability_curve, skew_ratio
+    from repro.analysis.stability import stability_report
+    from repro.core.correlation import cooccurrence_correlations
+    from repro.workloads.adapters import load_aol_query_log, split_log_by_fraction
+
+    if args.format == "aol":
+        log = load_aol_query_log(args.log, max_queries=args.max_queries)
+    else:
+        log = QueryLog.load(args.log)
+        if args.max_queries is not None:
+            log = QueryLog(list(log)[: args.max_queries])
+    if len(log) < 2:
+        print("log too small to analyze")
+        return 1
+
+    period1, period2 = split_log_by_fraction(log, 0.5)
+    corr1 = cooccurrence_correlations(period1.operations())
+    corr2 = cooccurrence_correlations(period2.operations())
+    _, probs = pair_probability_curve(corr1, top_k=args.top_pairs)
+    supported = cooccurrence_correlations(
+        period1.operations(), min_support=args.min_count
+    )
+    report = stability_report(supported, corr2, top_k=args.top_pairs)
+
+    print(f"queries: {len(log)} (avg {log.average_keywords():.2f} keywords)")
+    print(f"distinct keywords: {len(log.vocabulary())}")
+    if probs:
+        print(
+            f"skewness: top pair is {skew_ratio(probs):.1f}x pair "
+            f"#{len(probs)} (paper: 177x at rank 1000)"
+        )
+    print(
+        f"stability: {report.unstable_fraction:.1%} of {len(report.pairs)} "
+        f"well-supported pairs changed >2x between halves (paper: 1.2%)"
+    )
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Regenerate a paper figure."""
+    # Imported here so the quick subcommands stay fast to start.
+    from repro.experiments.fig2 import run_skewness_stability
+    from repro.experiments.fig5 import run_dominance
+    from repro.experiments.fig6 import ScopeSweepConfig, run_scope_sweep
+    from repro.experiments.fig7 import NodeSweepConfig, run_node_sweep
+    from repro.experiments.report import run_full_report
+
+    study = _build_study(args)
+    if args.figure == "all":
+        report = run_full_report(
+            study, node_counts=tuple(args.nodes or (10, 20, 40, 70, 100))
+        )
+        text = report.render()
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            print(f"wrote report to {args.output}")
+        else:
+            print(text)
+    elif args.figure == "fig2":
+        print(run_skewness_stability(study).render())
+    elif args.figure == "fig5":
+        print(run_dominance(study).render())
+    elif args.figure == "fig6":
+        print(run_scope_sweep(study, ScopeSweepConfig()).render())
+    elif args.figure == "fig7":
+        config = NodeSweepConfig(node_counts=tuple(args.nodes or (10, 20, 40, 70, 100)))
+        print(run_node_sweep(study, config).render())
+    else:  # pragma: no cover - argparse choices guard this
+        raise ValueError(args.figure)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Correlation-aware object placement (ICDCS 2008 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("gen-queries", help="generate a synthetic query log")
+    p.add_argument("output", help="output file path")
+    p.add_argument("--count", type=int, default=10000)
+    p.add_argument("--vocabulary", type=int, default=4000)
+    p.add_argument("--topics", type=int, default=400)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_gen_queries)
+
+    p = sub.add_parser("place", help="compute a keyword-index placement")
+    p.add_argument("log", help="query log file")
+    p.add_argument("output", help="placement JSON output path")
+    p.add_argument("--strategy", choices=("hash", "greedy", "lprr"), default="lprr")
+    p.add_argument("--nodes", type=int, default=10)
+    p.add_argument("--scope", type=int, default=None, help="optimization scope")
+    p.add_argument("--min-support", type=int, default=2)
+    p.add_argument("--documents", type=int, default=1500)
+    p.add_argument("--vocabulary", type=int, default=4000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_place)
+
+    p = sub.add_parser("evaluate", help="replay a query log against a placement")
+    p.add_argument("log", help="query log file")
+    p.add_argument("placement", help="placement JSON from `repro place`")
+    p.add_argument("--documents", type=int, default=1500)
+    p.add_argument("--vocabulary", type=int, default=4000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("analyze", help="Figure-2 style analysis of a query log")
+    p.add_argument("log", help="query log file")
+    p.add_argument("--format", choices=("plain", "aol"), default="plain")
+    p.add_argument("--top-pairs", type=int, default=1000)
+    p.add_argument("--min-count", type=int, default=10)
+    p.add_argument("--max-queries", type=int, default=None)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("experiment", help="regenerate a paper figure")
+    p.add_argument("figure", choices=("fig2", "fig5", "fig6", "fig7", "all"))
+    p.add_argument("--nodes", type=int, nargs="*", help="node counts (fig7/all)")
+    p.add_argument("--output", help="write the report to a file (all)")
+    _add_study_args(p)
+    p.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,180 @@
+"""Closed-loop placement maintenance.
+
+Glues the pieces into the control loop a deployment would run: observe
+a period of operations, estimate pair correlations, compare against the
+correlations the current placement was built for (Figure 2B's stability
+analysis), and — only when drift crosses a threshold — re-optimize and
+migrate the most profitable objects within a byte budget.
+
+The paper's measurement that only ~1.2% of pairs change per month is
+exactly what makes this loop cheap: most periods end with a no-op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Mapping, Sequence
+
+from repro.analysis.stability import stability_report
+from repro.core.correlation import (
+    cooccurrence_correlations,
+    two_smallest_correlations,
+)
+from repro.core.lprr import LPRRPlanner
+from repro.core.migration import MigrationPlan, select_migrations
+from repro.core.placement import Placement
+from repro.core.problem import PlacementProblem
+
+ObjectId = Hashable
+Operation = Sequence[ObjectId]
+
+
+@dataclass(frozen=True)
+class ReplanDecision:
+    """Outcome of one observation period.
+
+    Attributes:
+        replanned: Whether drift crossed the threshold and a migration
+            ran.
+        unstable_fraction: Measured fraction of tracked pairs whose
+            correlation changed by more than 2x since the last replan.
+        plan: The executed migration plan (None when not replanned).
+        placement: The placement in force after the period.
+    """
+
+    replanned: bool
+    unstable_fraction: float
+    plan: MigrationPlan | None
+    placement: Placement
+
+
+class AdaptivePlacer:
+    """Drift-triggered re-optimization over a fixed object universe.
+
+    Args:
+        sizes: Object id -> size; the object universe is fixed.
+        num_nodes: Number of placement nodes.
+        planner: Placement optimizer; defaults to
+            :class:`~repro.core.lprr.LPRRPlanner` with seed 0.
+        drift_threshold: Replan when the unstable pair fraction exceeds
+            this (the paper's trace measured ~1.2% per month; 0.05 is a
+            comfortable default margin).
+        budget_fraction: Migration budget per replan, as a fraction of
+            total object size.
+        correlation_mode: ``"two_smallest"`` or ``"cooccurrence"``.
+        min_count: Minimum period-one observations for a pair to count
+            in the stability comparison (filters sampling noise).
+        top_pairs: How many reference pairs the stability check tracks.
+    """
+
+    def __init__(
+        self,
+        sizes: Mapping[ObjectId, float],
+        num_nodes: int,
+        planner: Callable[[PlacementProblem], Placement] | None = None,
+        drift_threshold: float = 0.05,
+        budget_fraction: float = 0.05,
+        correlation_mode: str = "two_smallest",
+        min_count: int = 5,
+        top_pairs: int = 1000,
+    ):
+        if not 0 <= drift_threshold <= 1:
+            raise ValueError("drift_threshold must be in [0, 1]")
+        if budget_fraction < 0:
+            raise ValueError("budget_fraction must be nonnegative")
+        if correlation_mode not in ("two_smallest", "cooccurrence"):
+            raise ValueError(f"unknown correlation mode {correlation_mode!r}")
+        self.sizes = dict(sizes)
+        self.num_nodes = num_nodes
+        self._plan_placement = planner or (
+            lambda problem: LPRRPlanner(seed=0).plan(problem).placement
+        )
+        self.drift_threshold = drift_threshold
+        self.budget_fraction = budget_fraction
+        self.correlation_mode = correlation_mode
+        self.min_count = min_count
+        self.top_pairs = top_pairs
+        self._reference: dict | None = None
+        self._placement: Placement | None = None
+
+    @property
+    def placement(self) -> Placement:
+        """The placement currently in force.
+
+        Raises:
+            RuntimeError: Before :meth:`bootstrap`.
+        """
+        if self._placement is None:
+            raise RuntimeError("bootstrap the placer with an initial trace first")
+        return self._placement
+
+    # ------------------------------------------------------------------
+    # Control loop
+    # ------------------------------------------------------------------
+    def _estimate(self, operations: Iterable[Operation], min_support: int = 1) -> dict:
+        trace = list(operations)
+        if self.correlation_mode == "two_smallest":
+            return two_smallest_correlations(trace, self.sizes, min_support)
+        return cooccurrence_correlations(trace, min_support)
+
+    def _problem_for(self, correlations: dict) -> PlacementProblem:
+        return PlacementProblem.build(self.sizes, self.num_nodes, correlations)
+
+    def bootstrap(self, operations: Iterable[Operation]) -> Placement:
+        """Build the initial placement from a first trace period."""
+        correlations = self._estimate(operations)
+        problem = self._problem_for(correlations)
+        self._placement = self._plan_placement(problem)
+        self._reference = correlations
+        return self._placement
+
+    def observe_period(self, operations: Iterable[Operation]) -> ReplanDecision:
+        """Fold one period of traffic into the control loop.
+
+        Raises:
+            RuntimeError: Before :meth:`bootstrap`.
+        """
+        if self._placement is None or self._reference is None:
+            raise RuntimeError("bootstrap the placer with an initial trace first")
+        operations = list(operations)
+        fresh = self._estimate(operations)
+        supported_reference = {
+            pair: p
+            for pair, p in self._estimate_with_support(self._reference)
+        }
+        report = stability_report(
+            supported_reference, fresh, top_k=self.top_pairs
+        )
+
+        if report.unstable_fraction <= self.drift_threshold:
+            return ReplanDecision(
+                replanned=False,
+                unstable_fraction=report.unstable_fraction,
+                plan=None,
+                placement=self._placement,
+            )
+
+        problem = self._problem_for(fresh)
+        current = Placement.from_mapping(problem, self._placement.to_mapping())
+        target = self._plan_placement(problem)
+        budget = self.budget_fraction * problem.total_size
+        plan = select_migrations(current, target, budget_bytes=budget)
+        self._placement = plan.apply(current)
+        self._reference = fresh
+        return ReplanDecision(
+            replanned=True,
+            unstable_fraction=report.unstable_fraction,
+            plan=plan,
+            placement=self._placement,
+        )
+
+    def _estimate_with_support(self, correlations: dict):
+        """Filter reference pairs to well-supported ones.
+
+        Correlations are probabilities; support filtering happened at
+        estimation time for fresh traces, so for the stored reference
+        we approximate by keeping the ``top_pairs`` strongest — the
+        same pairs the stability report would track.
+        """
+        ranked = sorted(correlations.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+        return ranked[: self.top_pairs]

@@ -1,0 +1,174 @@
+"""A simulated cluster executing multi-object operations.
+
+This is the generic (non-search) consumer of placements: given a
+:class:`~repro.core.placement.Placement`, the cluster materializes the
+objects on storage nodes and executes intersection-like or union-like
+multi-object operations per Section 3.2's execution models, charging
+every byte to the network model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from repro.cluster.network import NetworkModel
+from repro.cluster.node import StorageNode
+from repro.core.placement import Placement
+from repro.exceptions import PlacementError
+
+ObjectId = Hashable
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class OperationResult:
+    """Outcome of one multi-object operation.
+
+    Attributes:
+        objects: The requested object ids, as given.
+        bytes_transferred: Inter-node bytes this operation moved.
+        coordinator: Node where the final aggregation happened.
+        num_remote_objects: Objects that had to be moved.
+    """
+
+    objects: tuple[ObjectId, ...]
+    bytes_transferred: float
+    coordinator: NodeId
+    num_remote_objects: int
+
+    @property
+    def is_local(self) -> bool:
+        """Whether all requested objects shared one node."""
+        return self.num_remote_objects == 0
+
+
+class Cluster:
+    """Storage nodes + network, populated from a placement.
+
+    Args:
+        placement: Object placement to materialize; node capacities
+            come from the placement's problem.
+        enforce_capacity: Forwarded to :class:`StorageNode`.
+    """
+
+    def __init__(self, placement: Placement, enforce_capacity: bool = False):
+        problem = placement.problem
+        self.placement = placement
+        self.nodes: dict[NodeId, StorageNode] = {
+            node_id: StorageNode(node_id, float(cap), enforce_capacity)
+            for node_id, cap in zip(problem.node_ids, problem.capacities)
+        }
+        self.network = NetworkModel(list(problem.node_ids))
+        self._sizes: dict[ObjectId, float] = {}
+        self._location: dict[ObjectId, NodeId] = {}
+        for obj, node_id in placement.to_mapping().items():
+            size = problem.size_of(obj)
+            self.nodes[node_id].store(obj, size)
+            self._sizes[obj] = size
+            self._location[obj] = node_id
+
+    def locate(self, obj: ObjectId) -> NodeId:
+        """Node currently holding ``obj``."""
+        try:
+            return self._location[obj]
+        except KeyError:
+            raise PlacementError(f"unknown object {obj!r}") from None
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def execute_intersection(self, objects: Sequence[ObjectId]) -> OperationResult:
+        """Intersection-like operation, smallest-first pipelined.
+
+        The running result starts at the smallest object's node; at
+        each step the (upper-bounded) running result — never larger
+        than the smallest object — ships to the next object's node.
+        This is conservative: real intersections shrink the result, so
+        measured engine traffic is at most this.
+        """
+        objects = tuple(objects)
+        distinct = sorted(set(objects), key=lambda o: (self._sizes_or_raise(o), repr(o)))
+        if not distinct:
+            raise ValueError("operation requests no objects")
+        coordinator = self.locate(distinct[0])
+        running = self._sizes[distinct[0]]
+        transferred = 0.0
+        remote = 0
+        for obj in distinct[1:]:
+            target = self.locate(obj)
+            if target != coordinator:
+                moved = self.network.transfer(coordinator, target, int(running))
+                transferred += moved
+                remote += 1
+                coordinator = target
+            running = min(running, self._sizes[obj])
+        return OperationResult(objects, transferred, coordinator, remote)
+
+    def execute_union(self, objects: Sequence[ObjectId]) -> OperationResult:
+        """Union-like operation: ship everything to the largest object.
+
+        Matches Section 3.2's union model — all requested objects move
+        to the node of the largest one, costing each mover's full size.
+        """
+        objects = tuple(objects)
+        distinct = sorted(set(objects), key=lambda o: (self._sizes_or_raise(o), repr(o)))
+        if not distinct:
+            raise ValueError("operation requests no objects")
+        largest = distinct[-1]
+        coordinator = self.locate(largest)
+        transferred = 0.0
+        remote = 0
+        for obj in distinct[:-1]:
+            source = self.locate(obj)
+            if source != coordinator:
+                moved = self.network.transfer(source, coordinator, int(self._sizes[obj]))
+                transferred += moved
+                remote += 1
+        return OperationResult(objects, transferred, coordinator, remote)
+
+    def execute_trace(
+        self, operations: Iterable[Sequence[ObjectId]], mode: str = "intersection"
+    ) -> list[OperationResult]:
+        """Execute a whole trace; returns per-operation results.
+
+        Args:
+            operations: Iterable of object-id sequences.
+            mode: ``"intersection"`` or ``"union"``.
+        """
+        if mode == "intersection":
+            run = self.execute_intersection
+        elif mode == "union":
+            run = self.execute_union
+        else:
+            raise ValueError(f"unknown operation mode {mode!r}")
+        return [run(op) for op in operations]
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    def overloaded_nodes(self) -> list[NodeId]:
+        """Ids of nodes above capacity."""
+        return [nid for nid, node in self.nodes.items() if node.is_overloaded]
+
+    def migrate(self, obj: ObjectId, destination: NodeId) -> float:
+        """Move an object to another node; returns bytes moved."""
+        source = self.locate(obj)
+        if destination == source:
+            return 0.0
+        size = self.nodes[source].evict(obj)
+        self.nodes[destination].store(obj, size)
+        self._location[obj] = destination
+        return float(self.network.transfer(source, destination, int(size)))
+
+    def _sizes_or_raise(self, obj: ObjectId) -> float:
+        try:
+            return self._sizes[obj]
+        except KeyError:
+            raise PlacementError(f"unknown object {obj!r}") from None
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster(nodes={len(self.nodes)}, objects={len(self._sizes)}, "
+            f"bytes={self.network.total_bytes})"
+        )

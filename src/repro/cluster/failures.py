@@ -1,0 +1,128 @@
+"""Node failures and availability under (replicated) placements.
+
+Replication exists for availability; this module quantifies it.  Given
+a placement and a set of failed nodes, it reports which objects are
+still reachable and what fraction of a multi-object operation trace
+can still be served — with single-copy placements losing every object
+on a failed node, and replicated placements surviving any failure that
+leaves at least one copy alive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from repro.core.placement import Placement
+from repro.core.replication import ReplicatedPlacement
+
+NodeId = Hashable
+ObjectId = Hashable
+Operation = Sequence[ObjectId]
+
+
+@dataclass(frozen=True)
+class AvailabilityReport:
+    """Impact of a failure set on objects and operations.
+
+    Attributes:
+        failed_nodes: The nodes taken down.
+        lost_objects: Objects with no surviving copy.
+        surviving_objects: Objects still reachable.
+        total_operations: Operations evaluated.
+        servable_operations: Operations whose every object survives.
+    """
+
+    failed_nodes: tuple[NodeId, ...]
+    lost_objects: tuple[ObjectId, ...]
+    surviving_objects: int
+    total_operations: int
+    servable_operations: int
+
+    @property
+    def object_availability(self) -> float:
+        """Fraction of objects still reachable."""
+        total = len(self.lost_objects) + self.surviving_objects
+        return self.surviving_objects / total if total else 1.0
+
+    @property
+    def operation_availability(self) -> float:
+        """Fraction of operations fully servable."""
+        if self.total_operations == 0:
+            return 1.0
+        return self.servable_operations / self.total_operations
+
+
+def _copies_by_object(
+    placement: Placement | ReplicatedPlacement,
+) -> dict[ObjectId, set[NodeId]]:
+    problem = placement.problem
+    if isinstance(placement, ReplicatedPlacement):
+        return {
+            obj: set(placement.nodes_of(obj)) for obj in problem.object_ids
+        }
+    return {obj: {node} for obj, node in placement.to_mapping().items()}
+
+
+def fail_nodes(
+    placement: Placement | ReplicatedPlacement,
+    failed: Iterable[NodeId],
+    operations: Iterable[Operation] = (),
+) -> AvailabilityReport:
+    """Evaluate a failure scenario.
+
+    Args:
+        placement: Single-copy or replicated placement.
+        failed: Node ids that are down.
+        operations: Optional trace; operations referencing unknown
+            objects count as unservable only if a *known* object in
+            them is lost (unknown ids are ignored, matching the
+            engines' behaviour).
+
+    Returns:
+        An :class:`AvailabilityReport`.
+    """
+    failed_set = set(failed)
+    for node in failed_set:
+        placement.problem.node_index(node)  # validates ids
+    copies = _copies_by_object(placement)
+
+    lost = tuple(
+        sorted(
+            (obj for obj, nodes in copies.items() if nodes <= failed_set),
+            key=repr,
+        )
+    )
+    lost_set = set(lost)
+    surviving = len(copies) - len(lost)
+
+    total_ops = 0
+    servable = 0
+    for operation in operations:
+        total_ops += 1
+        known = [obj for obj in operation if obj in copies]
+        if not any(obj in lost_set for obj in known):
+            servable += 1
+
+    return AvailabilityReport(
+        failed_nodes=tuple(sorted(failed_set, key=repr)),
+        lost_objects=lost,
+        surviving_objects=surviving,
+        total_operations=total_ops,
+        servable_operations=servable,
+    )
+
+
+def worst_single_failure(
+    placement: Placement | ReplicatedPlacement,
+    operations: Sequence[Operation],
+) -> AvailabilityReport:
+    """The most damaging single-node failure for a trace."""
+    problem = placement.problem
+    worst: AvailabilityReport | None = None
+    for node in problem.node_ids:
+        report = fail_nodes(placement, [node], operations)
+        if worst is None or report.operation_availability < worst.operation_availability:
+            worst = report
+    assert worst is not None  # problems always have >= 1 node
+    return worst

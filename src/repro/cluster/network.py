@@ -1,0 +1,76 @@
+"""Uniform-cost network model with traffic accounting.
+
+The paper's analysis assumes pair communication cost independent of
+where objects sit — a uniform network.  The model therefore only needs
+to *count* traffic, not route it; it keeps a full traffic matrix so
+experiments can also inspect per-link volumes.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+NodeId = Hashable
+
+
+class NetworkModel:
+    """Byte/message accounting between a fixed set of nodes."""
+
+    def __init__(self, node_ids: list[NodeId]):
+        if len(set(node_ids)) != len(node_ids):
+            raise ValueError("duplicate node ids")
+        self.node_ids = list(node_ids)
+        self._index = {node: i for i, node in enumerate(self.node_ids)}
+        n = len(self.node_ids)
+        self._bytes = np.zeros((n, n), dtype=np.int64)
+        self._messages = np.zeros((n, n), dtype=np.int64)
+
+    def transfer(self, src: NodeId, dst: NodeId, num_bytes: int) -> int:
+        """Record a transfer; returns the bytes actually moved.
+
+        A transfer between a node and itself is free and unrecorded.
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be nonnegative")
+        i, j = self._index[src], self._index[dst]
+        if i == j:
+            return 0
+        self._bytes[i, j] += num_bytes
+        self._messages[i, j] += 1
+        return num_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes moved between distinct nodes."""
+        return int(self._bytes.sum())
+
+    @property
+    def total_messages(self) -> int:
+        """All inter-node messages."""
+        return int(self._messages.sum())
+
+    def bytes_between(self, a: NodeId, b: NodeId) -> int:
+        """Bytes moved on the (directed-summed) link between two nodes."""
+        i, j = self._index[a], self._index[b]
+        return int(self._bytes[i, j] + self._bytes[j, i])
+
+    def traffic_matrix(self) -> np.ndarray:
+        """Copy of the directed bytes matrix (senders on rows)."""
+        return self._bytes.copy()
+
+    def bytes_sent_by(self, node: NodeId) -> int:
+        """Total bytes this node sent."""
+        return int(self._bytes[self._index[node]].sum())
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self._bytes[:] = 0
+        self._messages[:] = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkModel(nodes={len(self.node_ids)}, "
+            f"bytes={self.total_bytes}, messages={self.total_messages})"
+        )

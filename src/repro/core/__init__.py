@@ -1,0 +1,108 @@
+"""The paper's primary contribution: correlation-aware object placement.
+
+This subpackage contains the Capacity-Constrained Assignment (CCA)
+problem model, the LP relaxation and randomized rounding of the paper's
+LPRR algorithm, the baselines it is evaluated against (random hashing
+and the greedy correlation-aware heuristic), the important-object
+partial-optimization machinery, an exact branch-and-bound solver for
+small instances, and the executable form of the paper's NP-hardness
+reduction from minimum multiway cut.
+"""
+
+from repro.core.correlation import (
+    CorrelationEstimator,
+    cooccurrence_correlations,
+    two_smallest_correlations,
+    union_largest_correlations,
+)
+from repro.core.decompose import UnionFind, component_subproblems, correlation_components
+from repro.core.exact import ExactSolution, solve_exact
+from repro.core.greedy import greedy_placement
+from repro.core.hashing import hash_node, random_hash_placement
+from repro.core.importance import importance_ranking, importance_scores, top_important
+from repro.core.local_search import local_search_placement
+from repro.core.lp import FractionalPlacement, LPStats, build_placement_lp, solve_placement_lp
+from repro.core.lprr import LPRRPlanner, LPRRResult
+from repro.core.migration import (
+    Migration,
+    MigrationPlan,
+    diff_placements,
+    select_migrations,
+)
+from repro.core.partial import scoped_placement
+from repro.core.placement import Placement
+from repro.core.problem import PairData, PlacementProblem, min_size_pair_cost
+from repro.core.repair import repair_capacity
+from repro.core.replication import (
+    ReplicatedPlacement,
+    greedy_replicated_placement,
+    hash_replicated_placement,
+)
+from repro.core.resources import ResourceSpec
+from repro.core.rounding import RoundingResult, round_fractional, round_best_of
+from repro.core.spectral import spectral_placement
+from repro.core.serialization import (
+    load_placement,
+    load_problem,
+    save_placement,
+    save_problem,
+)
+from repro.core.strategies import (
+    PlacementStrategy,
+    available_strategies,
+    best_fit_decreasing_placement,
+    get_strategy,
+    round_robin_placement,
+)
+
+__all__ = [
+    "CorrelationEstimator",
+    "ExactSolution",
+    "FractionalPlacement",
+    "LPRRPlanner",
+    "LPRRResult",
+    "Migration",
+    "MigrationPlan",
+    "LPStats",
+    "PairData",
+    "Placement",
+    "PlacementProblem",
+    "PlacementStrategy",
+    "ReplicatedPlacement",
+    "ResourceSpec",
+    "available_strategies",
+    "best_fit_decreasing_placement",
+    "component_subproblems",
+    "correlation_components",
+    "build_placement_lp",
+    "cooccurrence_correlations",
+    "diff_placements",
+    "get_strategy",
+    "greedy_placement",
+    "greedy_replicated_placement",
+    "hash_node",
+    "hash_replicated_placement",
+    "importance_ranking",
+    "importance_scores",
+    "load_placement",
+    "local_search_placement",
+    "load_problem",
+    "min_size_pair_cost",
+    "random_hash_placement",
+    "repair_capacity",
+    "round_best_of",
+    "round_fractional",
+    "round_robin_placement",
+    "save_placement",
+    "save_problem",
+    "scoped_placement",
+    "select_migrations",
+    "RoundingResult",
+    "UnionFind",
+    "solve_exact",
+    "solve_placement_lp",
+    "spectral_placement",
+    "top_important",
+    "two_smallest_correlations",
+    "union_largest_correlations",
+]

@@ -1,0 +1,198 @@
+"""Pair-correlation estimation from multi-object operation traces.
+
+The paper defines the correlation ``r(i, j)`` of an object pair as the
+probability that both objects are requested together in an operation.
+For operations touching more than two objects, Section 3.2 reduces the
+operation to one or more two-object operations:
+
+* **Intersection-like** operations (multi-keyword search, database
+  joins) are approximated by a single two-object operation on the two
+  *smallest* requested objects, so ``r(i, j)`` becomes the probability
+  that ``i`` and ``j`` are the two smallest objects of an operation.
+* **Union-like** operations are approximated by a sequence of pairs,
+  each joining the *largest* requested object with one other object.
+
+All three estimators below take a trace — an iterable of operations,
+each an iterable of object ids — and return a dict mapping canonical
+id pairs to empirical probabilities (pair count / number of operations
+counted).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Iterable, Mapping, Sequence
+
+ObjectId = Hashable
+Operation = Sequence[ObjectId]
+PairProbabilities = dict[tuple[ObjectId, ObjectId], float]
+
+
+def _canonical(a: ObjectId, b: ObjectId) -> tuple[ObjectId, ObjectId]:
+    """Order a pair deterministically (by repr when not comparable)."""
+    try:
+        return (a, b) if a <= b else (b, a)  # type: ignore[operator]
+    except TypeError:
+        return (a, b) if repr(a) <= repr(b) else (b, a)
+
+
+def _finalize(counts: Counter, total_operations: int, min_support: int) -> PairProbabilities:
+    if total_operations == 0:
+        return {}
+    return {
+        pair: count / total_operations
+        for pair, count in counts.items()
+        if count >= min_support
+    }
+
+
+def cooccurrence_correlations(
+    trace: Iterable[Operation], min_support: int = 1
+) -> PairProbabilities:
+    """Raw co-occurrence estimator: every pair in an operation counts.
+
+    This is the paper's base definition of ``r(i, j)`` and is exact for
+    traces of two-object operations.
+
+    Args:
+        trace: Operations; each operation is an iterable of object ids
+            (duplicates within an operation are ignored).
+        min_support: Drop pairs observed fewer than this many times.
+
+    Returns:
+        Mapping from canonical pairs to empirical probabilities.
+    """
+    counts: Counter = Counter()
+    total = 0
+    for operation in trace:
+        total += 1
+        objects = sorted(set(operation), key=repr)
+        for a_pos in range(len(objects)):
+            for b_pos in range(a_pos + 1, len(objects)):
+                counts[_canonical(objects[a_pos], objects[b_pos])] += 1
+    return _finalize(counts, total, min_support)
+
+
+def two_smallest_correlations(
+    trace: Iterable[Operation],
+    sizes: Mapping[ObjectId, float],
+    min_support: int = 1,
+) -> PairProbabilities:
+    """Intersection-like estimator: count only the two smallest objects.
+
+    Ties on size are broken by object id (via repr) so the estimator is
+    deterministic.  Operations with fewer than two distinct known
+    objects contribute nothing but still count toward the denominator,
+    mirroring the paper's per-operation probability definition.
+
+    Args:
+        trace: Operations as iterables of object ids.
+        sizes: Object sizes used to find the two smallest.  Objects
+            missing from this mapping are ignored.
+        min_support: Drop pairs observed fewer than this many times.
+    """
+    counts: Counter = Counter()
+    total = 0
+    for operation in trace:
+        total += 1
+        known = [o for o in set(operation) if o in sizes]
+        if len(known) < 2:
+            continue
+        known.sort(key=lambda o: (sizes[o], repr(o)))
+        counts[_canonical(known[0], known[1])] += 1
+    return _finalize(counts, total, min_support)
+
+
+def union_largest_correlations(
+    trace: Iterable[Operation],
+    sizes: Mapping[ObjectId, float],
+    min_support: int = 1,
+) -> PairProbabilities:
+    """Union-like estimator: pair the largest object with each other.
+
+    Models transferring all requested objects to the node hosting the
+    largest one (Section 3.2), so an operation over ``q`` objects
+    contributes ``q - 1`` pairs, all sharing the largest object.
+
+    Args:
+        trace: Operations as iterables of object ids.
+        sizes: Object sizes used to find the largest.
+        min_support: Drop pairs observed fewer than this many times.
+    """
+    counts: Counter = Counter()
+    total = 0
+    for operation in trace:
+        total += 1
+        known = [o for o in set(operation) if o in sizes]
+        if len(known) < 2:
+            continue
+        largest = max(known, key=lambda o: (sizes[o], repr(o)))
+        for other in known:
+            if other != largest:
+                counts[_canonical(largest, other)] += 1
+    return _finalize(counts, total, min_support)
+
+
+class CorrelationEstimator:
+    """Incremental pair-correlation estimation over a stream of operations.
+
+    Useful when the trace does not fit in memory or arrives online.
+    The estimation mode mirrors the module-level functions.
+
+    Example:
+        >>> est = CorrelationEstimator(mode="cooccurrence")
+        >>> est.observe(["a", "b"])
+        >>> est.observe(["a", "b", "c"])
+        >>> est.correlations()[("a", "b")]
+        1.0
+    """
+
+    MODES = ("cooccurrence", "two_smallest", "union_largest")
+
+    def __init__(
+        self,
+        mode: str = "cooccurrence",
+        sizes: Mapping[ObjectId, float] | None = None,
+    ):
+        if mode not in self.MODES:
+            raise ValueError(f"unknown mode {mode!r}; expected one of {self.MODES}")
+        if mode != "cooccurrence" and sizes is None:
+            raise ValueError(f"mode {mode!r} requires object sizes")
+        self.mode = mode
+        self.sizes = sizes
+        self._counts: Counter = Counter()
+        self._total = 0
+
+    @property
+    def num_operations(self) -> int:
+        """Operations observed so far."""
+        return self._total
+
+    def observe(self, operation: Operation) -> None:
+        """Fold one operation into the estimate."""
+        single = [operation]
+        if self.mode == "cooccurrence":
+            partial = cooccurrence_correlations(single)
+        elif self.mode == "two_smallest":
+            partial = two_smallest_correlations(single, self.sizes or {})
+        else:
+            partial = union_largest_correlations(single, self.sizes or {})
+        self._total += 1
+        for pair in partial:
+            # Each helper returns probability over one operation, i.e.
+            # count / 1, so the value is the raw pair count.
+            self._counts[pair] += int(round(partial[pair]))
+
+    def observe_all(self, trace: Iterable[Operation]) -> None:
+        """Fold every operation of ``trace`` into the estimate."""
+        for operation in trace:
+            self.observe(operation)
+
+    def correlations(self, min_support: int = 1) -> PairProbabilities:
+        """Current pair-probability estimates."""
+        return _finalize(self._counts, self._total, min_support)
+
+    def top_pairs(self, k: int) -> list[tuple[tuple[ObjectId, ObjectId], float]]:
+        """The ``k`` most correlated pairs, descending."""
+        probs = self.correlations()
+        return sorted(probs.items(), key=lambda item: (-item[1], repr(item[0])))[:k]

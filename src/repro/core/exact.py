@@ -1,0 +1,169 @@
+"""Exact branch-and-bound solver for small CCA instances.
+
+The CCA problem is NP-hard (Theorem 1), so this solver exists only as
+ground truth: optimality-gap tests and the ablation benchmark compare
+LPRR against the true optimum on instances small enough to enumerate
+intelligently.
+
+The search assigns objects one by one (largest first), pruning on
+
+* strict capacity feasibility (including a bin-packing-style check
+  that the remaining objects still fit in the remaining free space),
+* a cost lower bound: the cost already paid, plus — for each
+  unassigned object — the weight to its already-assigned neighbours
+  that it must pay no matter which single node it joins, and
+* node symmetry, when all capacities are equal: a new object may only
+  open the single lowest-indexed empty node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.greedy import greedy_placement
+from repro.core.placement import Placement
+from repro.core.problem import PlacementProblem
+from repro.exceptions import InfeasibleProblemError
+
+DEFAULT_MAX_OBJECTS = 18
+
+
+@dataclass(frozen=True)
+class ExactSolution:
+    """An optimal placement plus search statistics.
+
+    Attributes:
+        placement: An optimal feasible placement.
+        cost: Its communication cost (the true optimum).
+        nodes_explored: Branch-and-bound tree nodes visited.
+    """
+
+    placement: Placement
+    cost: float
+    nodes_explored: int
+
+
+def solve_exact(
+    problem: PlacementProblem, max_objects: int = DEFAULT_MAX_OBJECTS
+) -> ExactSolution:
+    """Find a provably optimal placement by branch and bound.
+
+    Args:
+        problem: The CCA instance; capacities are enforced strictly.
+        max_objects: Guard against accidental exponential blowups.
+
+    Raises:
+        ValueError: If the instance exceeds ``max_objects``.
+        InfeasibleProblemError: If no feasible placement exists.
+    """
+    t, n = problem.num_objects, problem.num_nodes
+    if t > max_objects:
+        raise ValueError(
+            f"exact solver limited to {max_objects} objects (got {t}); "
+            "raise max_objects explicitly if you really mean it"
+        )
+
+    order = np.argsort(-problem.sizes, kind="stable")
+    sizes = problem.sizes[order]
+    remaining_size = np.concatenate([np.cumsum(sizes[::-1])[::-1], [0.0]])
+
+    # adjacency[u] = list of (v, weight) over correlated pairs.
+    position = np.empty(t, dtype=np.int64)
+    position[order] = np.arange(t)
+    adjacency: list[list[tuple[int, float]]] = [[] for _ in range(t)]
+    for (i, j), weight in zip(problem.pair_index, problem.pair_weights):
+        if weight <= 0:
+            continue
+        u, v = int(position[i]), int(position[j])
+        adjacency[u].append((v, float(weight)))
+        adjacency[v].append((u, float(weight)))
+
+    symmetric_nodes = bool(n > 1 and np.all(problem.capacities == problem.capacities[0]))
+
+    best_cost = np.inf
+    best_assignment: np.ndarray | None = None
+    try:
+        incumbent = greedy_placement(problem, strict_capacity=True)
+    except InfeasibleProblemError:
+        incumbent = None
+    if incumbent is not None and incumbent.is_feasible():
+        best_cost = incumbent.communication_cost()
+        best_assignment = incumbent.assignment[order].copy()
+
+    assignment = -np.ones(t, dtype=np.int64)
+    free = problem.capacities.astype(float).copy()
+    resource_free = [spec.budgets.astype(float).copy() for spec in problem.resources]
+    resource_loads = [spec.loads[order] for spec in problem.resources]
+    explored = 0
+
+    def unavoidable_cost(depth: int) -> float:
+        """Lower bound on the cost still to be paid by unassigned objects."""
+        bound = 0.0
+        for u in range(depth, t):
+            per_node = np.zeros(n)
+            total = 0.0
+            for v, weight in adjacency[u]:
+                if v < depth:
+                    per_node[assignment[v]] += weight
+                    total += weight
+            if total > 0:
+                bound += total - per_node.max()
+        return bound
+
+    def recurse(depth: int, cost: float) -> None:
+        nonlocal best_cost, best_assignment, explored
+        explored += 1
+        if depth == t:
+            if cost < best_cost:
+                best_cost = cost
+                best_assignment = assignment.copy()
+            return
+        if cost + unavoidable_cost(depth) >= best_cost - 1e-12:
+            return
+        # Remaining objects must fit in remaining free space.
+        if remaining_size[depth] > free.sum() + 1e-9:
+            return
+
+        size = sizes[depth]
+        pay_to = np.zeros(n)
+        total_weight = 0.0
+        for v, weight in adjacency[depth]:
+            if v < depth:
+                pay_to[assignment[v]] += weight
+                total_weight += weight
+
+        if symmetric_nodes:
+            used = int(assignment[:depth].max()) + 1 if depth else 0
+            candidate_nodes = range(min(used + 1, n))
+        else:
+            candidate_nodes = range(n)
+        # Try cheaper nodes first for earlier incumbent tightening.
+        ordered = sorted(candidate_nodes, key=lambda k: total_weight - pay_to[k])
+        for k in ordered:
+            if free[k] + 1e-9 < size:
+                continue
+            if any(
+                rf[k] + 1e-9 < loads[depth]
+                for rf, loads in zip(resource_free, resource_loads)
+            ):
+                continue
+            assignment[depth] = k
+            free[k] -= size
+            for rf, loads in zip(resource_free, resource_loads):
+                rf[k] -= loads[depth]
+            recurse(depth + 1, cost + total_weight - pay_to[k])
+            free[k] += size
+            for rf, loads in zip(resource_free, resource_loads):
+                rf[k] += loads[depth]
+            assignment[depth] = -1
+
+    recurse(0, 0.0)
+    if best_assignment is None:
+        raise InfeasibleProblemError("no feasible placement exists")
+
+    final = np.empty(t, dtype=np.int64)
+    final[order] = best_assignment
+    placement = Placement(problem, final)
+    return ExactSolution(placement, float(best_cost), explored)

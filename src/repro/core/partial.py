@@ -1,0 +1,69 @@
+"""Generic important-object partial optimization (Section 3.1).
+
+:class:`~repro.core.lprr.LPRRPlanner` hard-wires this pattern for the
+LP pipeline; :func:`scoped_placement` exposes it for *any* inner
+strategy so experiments can compare like with like — e.g. the paper's
+Figure 6 runs both LPRR and the greedy heuristic at each optimization
+scope, hashing all out-of-scope keywords.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.hashing import hash_node
+from repro.core.importance import top_important
+from repro.core.placement import Placement
+from repro.core.problem import PlacementProblem
+
+
+def scoped_placement(
+    problem: PlacementProblem,
+    scope: int | None,
+    place_subproblem: Callable[[PlacementProblem], Placement],
+    capacity_factor: float | None = 2.0,
+    hash_salt: str = "",
+) -> Placement:
+    """Optimize the top-``scope`` objects with a strategy, hash the rest.
+
+    Args:
+        problem: The full CCA instance.
+        scope: Number of most-important objects the inner strategy may
+            place; ``None`` means all of them.
+        place_subproblem: Strategy invoked on the scoped subproblem
+            (its node set equals the full problem's).
+        capacity_factor: Conservative per-node capacity for the
+            subproblem, as a multiple of the scoped objects' average
+            per-node load; ``None`` keeps the problem's capacities.
+        hash_salt: Salt for the out-of-scope hash placement.
+
+    Returns:
+        A total placement over the full problem.
+    """
+    if scope is not None and scope < 0:
+        raise ValueError("scope must be nonnegative (or None)")
+    scope = problem.num_objects if scope is None else min(scope, problem.num_objects)
+    scoped_ids = top_important(problem, scope)
+    scoped_set = set(scoped_ids)
+
+    assignment = np.empty(problem.num_objects, dtype=np.int64)
+    for i, obj in enumerate(problem.object_ids):
+        if obj not in scoped_set:
+            assignment[i] = hash_node(obj, problem.num_nodes, hash_salt)
+
+    if scoped_ids:
+        if capacity_factor is None:
+            capacities = problem.capacities.copy()
+        else:
+            scoped_size = float(sum(problem.size_of(o) for o in scoped_ids))
+            per_node = capacity_factor * scoped_size / problem.num_nodes
+            largest = max(problem.size_of(o) for o in scoped_ids)
+            capacities = np.full(problem.num_nodes, max(per_node, largest))
+        subproblem = problem.subproblem(scoped_ids, capacities=capacities)
+        sub_placement = place_subproblem(subproblem)
+        for local_i, obj in enumerate(subproblem.object_ids):
+            assignment[problem.object_index(obj)] = sub_placement.assignment[local_i]
+
+    return Placement(problem, assignment)

@@ -1,0 +1,221 @@
+"""Replicated placement — the paper's natural extension.
+
+The paper's summary points to its companion work on replication-degree
+customization; combining the two is the obvious next step: each object
+keeps ``R`` copies (for availability and read scaling), and a
+multi-object operation can be served by *any* copy pair, so a
+correlated pair only pays communication when **no** node holds copies
+of both objects.
+
+This module provides the replicated analogues of the single-copy
+machinery:
+
+* :class:`ReplicatedPlacement` — a ``(t, R)`` assignment with the
+  any-copy-pair cost semantics and replica-aware capacity accounting;
+* :func:`hash_replicated_placement` — the correlation-oblivious
+  baseline (salted MD5 per replica, distinct nodes per object);
+* :func:`greedy_replicated_placement` — primary copies via any
+  single-copy strategy, remaining replicas placed to maximize
+  *additional* pair coverage under capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.greedy import greedy_placement
+from repro.core.hashing import hash_node
+from repro.core.placement import Placement
+from repro.core.problem import NodeId, ObjectId, PlacementProblem
+from repro.exceptions import PlacementError
+
+
+class ReplicatedPlacement:
+    """An assignment of ``R`` replicas of every object to nodes.
+
+    Attributes:
+        problem: The underlying CCA instance.
+        assignment: ``(t, R)`` int array of node indices; replicas of
+            one object must sit on distinct nodes.
+    """
+
+    def __init__(self, problem: PlacementProblem, assignment: np.ndarray):
+        self.problem = problem
+        self.assignment = np.asarray(assignment, dtype=np.int64)
+        if self.assignment.ndim != 2 or self.assignment.shape[0] != problem.num_objects:
+            raise PlacementError(
+                f"assignment must be (num_objects, replicas); got "
+                f"{self.assignment.shape}"
+            )
+        if self.assignment.size and (
+            self.assignment.min() < 0 or self.assignment.max() >= problem.num_nodes
+        ):
+            raise PlacementError("assignment contains out-of-range node indices")
+        for i in range(problem.num_objects):
+            row = self.assignment[i]
+            if len(set(row.tolist())) != len(row):
+                raise PlacementError(
+                    f"object {problem.object_ids[i]!r} has replicas sharing a node"
+                )
+
+    @property
+    def replication_factor(self) -> int:
+        """Number of copies per object."""
+        return self.assignment.shape[1]
+
+    def nodes_of(self, obj: ObjectId) -> list[NodeId]:
+        """Nodes holding copies of ``obj``."""
+        i = self.problem.object_index(obj)
+        return [self.problem.node_ids[k] for k in self.assignment[i]]
+
+    # ------------------------------------------------------------------
+    # Cost and capacity
+    # ------------------------------------------------------------------
+    def communication_cost(self) -> float:
+        """Objective (1) under any-copy semantics.
+
+        A pair is local when the replica node sets intersect.
+        """
+        p = self.problem
+        cost = 0.0
+        sets = [set(row.tolist()) for row in self.assignment]
+        for (i, j), weight in zip(p.pair_index, p.pair_weights):
+            if not sets[int(i)] & sets[int(j)]:
+                cost += weight
+        return float(cost)
+
+    def node_loads(self) -> np.ndarray:
+        """Per-node stored bytes, counting every replica."""
+        loads = np.zeros(self.problem.num_nodes)
+        for r in range(self.replication_factor):
+            loads += np.bincount(
+                self.assignment[:, r],
+                weights=self.problem.sizes,
+                minlength=self.problem.num_nodes,
+            )
+        return loads
+
+    def is_feasible(self, tolerance: float = 0.0) -> bool:
+        """Whether replica-inclusive loads respect node capacities."""
+        limits = self.problem.capacities * (1.0 + tolerance)
+        return bool(np.all(self.node_loads() <= limits + 1e-9))
+
+    def primary(self) -> Placement:
+        """The first-copy placement as a plain :class:`Placement`."""
+        return Placement(self.problem, self.assignment[:, 0])
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicatedPlacement(R={self.replication_factor}, "
+            f"cost={self.communication_cost():.6g})"
+        )
+
+
+def hash_replicated_placement(
+    problem: PlacementProblem, replicas: int = 2
+) -> ReplicatedPlacement:
+    """Correlation-oblivious baseline: salted hash per replica.
+
+    Replica ``r`` of an object hashes with salt ``r``; collisions with
+    earlier replicas advance to the next node (consistent with how
+    replicated hash rings pick distinct successors).
+    """
+    _check_replicas(problem, replicas)
+    n = problem.num_nodes
+    assignment = np.empty((problem.num_objects, replicas), dtype=np.int64)
+    for i, obj in enumerate(problem.object_ids):
+        chosen: list[int] = []
+        for r in range(replicas):
+            k = hash_node(obj, n, salt=str(r))
+            while k in chosen:
+                k = (k + 1) % n
+            chosen.append(k)
+        assignment[i] = chosen
+    return ReplicatedPlacement(problem, assignment)
+
+
+def greedy_replicated_placement(
+    problem: PlacementProblem,
+    replicas: int = 2,
+    primary_strategy: Callable[[PlacementProblem], Placement] | None = None,
+) -> ReplicatedPlacement:
+    """Correlation-aware replication on top of any primary placement.
+
+    Primaries come from ``primary_strategy`` (default: the greedy
+    heuristic).  Each additional replica round walks objects in
+    importance order and places the new copy on the feasible node that
+    *covers* the most still-split pair weight (i.e. the node where the
+    object's correlated partners already have copies), falling back to
+    the least-loaded feasible node.
+
+    Args:
+        problem: The CCA instance.
+        replicas: Total copies per object (``>= 1``).
+        primary_strategy: Strategy for the first copy.
+
+    Returns:
+        A feasible-when-possible :class:`ReplicatedPlacement`.
+    """
+    _check_replicas(problem, replicas)
+    primary_strategy = primary_strategy or greedy_placement
+    primary = primary_strategy(problem)
+
+    t, n = problem.num_objects, problem.num_nodes
+    assignment = np.empty((t, replicas), dtype=np.int64)
+    assignment[:, 0] = primary.assignment
+    loads = primary.node_loads().astype(float)
+
+    adjacency: list[list[tuple[int, float]]] = [[] for _ in range(t)]
+    for (i, j), weight in zip(problem.pair_index, problem.pair_weights):
+        if weight > 0:
+            adjacency[int(i)].append((int(j), float(weight)))
+            adjacency[int(j)].append((int(i), float(weight)))
+
+    copies: list[set[int]] = [{int(assignment[i, 0])} for i in range(t)]
+    order = np.argsort(-problem.sizes, kind="stable")
+
+    for r in range(1, replicas):
+        for i in order:
+            i = int(i)
+            size = problem.sizes[i]
+            # Coverage gain per node: weight of still-split pairs whose
+            # partner already has a copy there.
+            gain = np.zeros(n)
+            for j, weight in adjacency[i]:
+                if copies[i] & copies[j]:
+                    continue  # already local
+                for k in copies[j]:
+                    gain[k] += weight
+            feasible = problem.capacities - loads >= size
+            feasible[list(copies[i])] = False
+            candidates = np.where(feasible)[0]
+            if candidates.size == 0:
+                # No capacity anywhere: least-loaded node without a copy.
+                others = np.array(
+                    [k for k in range(n) if k not in copies[i]], dtype=np.int64
+                )
+                if others.size == 0:
+                    raise PlacementError(
+                        "more replicas requested than nodes available"
+                    )
+                k = int(others[np.argmin(loads[others])])
+            elif gain[candidates].max() > 0:
+                k = int(candidates[np.argmax(gain[candidates])])
+            else:
+                k = int(candidates[np.argmin(loads[candidates])])
+            assignment[i, r] = k
+            copies[i].add(k)
+            loads[k] += size
+    return ReplicatedPlacement(problem, assignment)
+
+
+def _check_replicas(problem: PlacementProblem, replicas: int) -> None:
+    if replicas < 1:
+        raise ValueError("replicas must be at least 1")
+    if replicas > problem.num_nodes:
+        raise ValueError(
+            f"cannot place {replicas} distinct copies on "
+            f"{problem.num_nodes} nodes"
+        )

@@ -1,0 +1,178 @@
+"""JSON persistence for problems and placements.
+
+Offline optimization (the paper's model: heavy LP runs happen out of
+band) needs durable artifacts: the problem snapshot the optimizer saw
+and the placement it produced.  Both serialize to a stable JSON schema
+with embedded schema-version tags for forward compatibility.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.placement import Placement
+from repro.core.problem import PlacementProblem
+from repro.core.resources import ResourceSpec
+from repro.exceptions import TraceFormatError
+
+PROBLEM_SCHEMA = "repro/problem/v1"
+PLACEMENT_SCHEMA = "repro/placement/v1"
+
+
+def _encode_capacity(value: float) -> float | None:
+    return None if np.isinf(value) else float(value)
+
+
+def _decode_capacity(value: float | None) -> float:
+    return np.inf if value is None else float(value)
+
+
+def problem_to_dict(problem: PlacementProblem) -> dict:
+    """The problem as a JSON-ready dict (object ids become strings)."""
+    return {
+        "schema": PROBLEM_SCHEMA,
+        "objects": {
+            str(obj): float(size)
+            for obj, size in zip(problem.object_ids, problem.sizes)
+        },
+        "nodes": [
+            {"id": str(node), "capacity": _encode_capacity(cap)}
+            for node, cap in zip(problem.node_ids, problem.capacities)
+        ],
+        "pairs": [
+            {
+                "i": str(problem.object_ids[i]),
+                "j": str(problem.object_ids[j]),
+                "correlation": float(r),
+                "cost": float(w),
+            }
+            for (i, j), r, w in zip(
+                problem.pair_index, problem.correlations, problem.pair_costs
+            )
+        ],
+        "resources": [
+            {
+                "name": spec.name,
+                "loads": {
+                    str(obj): float(load)
+                    for obj, load in zip(problem.object_ids, spec.loads)
+                    if load > 0
+                },
+                "budgets": [float(b) for b in spec.budgets],
+            }
+            for spec in problem.resources
+        ],
+    }
+
+
+def problem_from_dict(data: dict) -> PlacementProblem:
+    """Rebuild a problem from :func:`problem_to_dict` output.
+
+    Note that object and node ids come back as strings regardless of
+    their original type.
+
+    Raises:
+        TraceFormatError: On schema mismatch or missing fields.
+    """
+    if data.get("schema") != PROBLEM_SCHEMA:
+        raise TraceFormatError(
+            f"expected schema {PROBLEM_SCHEMA!r}, got {data.get('schema')!r}"
+        )
+    try:
+        objects = {str(k): float(v) for k, v in data["objects"].items()}
+        nodes = {
+            str(entry["id"]): _decode_capacity(entry["capacity"])
+            for entry in data["nodes"]
+        }
+        correlations = {
+            (entry["i"], entry["j"]): float(entry["correlation"])
+            for entry in data["pairs"]
+        }
+        pair_costs = {
+            (entry["i"], entry["j"]): float(entry["cost"])
+            for entry in data["pairs"]
+        }
+        resources = {
+            entry["name"]: (
+                {str(k): float(v) for k, v in entry["loads"].items()},
+                {
+                    node: float(budget)
+                    for node, budget in zip(nodes, entry["budgets"])
+                },
+            )
+            for entry in data.get("resources", [])
+        }
+    except (KeyError, TypeError) as exc:
+        raise TraceFormatError(f"malformed problem document: {exc}") from exc
+    return PlacementProblem.build(
+        objects,
+        nodes,
+        correlations,
+        pair_cost=pair_costs if pair_costs else None,
+        resources=resources or None,
+    )
+
+
+def save_problem(problem: PlacementProblem, path: str | Path) -> None:
+    """Write a problem snapshot to a JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(problem_to_dict(problem), fh, indent=1, sort_keys=True)
+
+
+def load_problem(path: str | Path) -> PlacementProblem:
+    """Read a problem snapshot written by :func:`save_problem`."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return problem_from_dict(json.load(fh))
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read problem {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"invalid JSON in {path}: {exc}") from exc
+
+
+def placement_to_dict(placement: Placement) -> dict:
+    """The placement as a JSON-ready dict."""
+    return {
+        "schema": PLACEMENT_SCHEMA,
+        "mapping": {
+            str(obj): str(node) for obj, node in placement.to_mapping().items()
+        },
+    }
+
+
+def placement_from_dict(data: dict, problem: PlacementProblem) -> Placement:
+    """Rebuild a placement against a (string-id) problem.
+
+    Raises:
+        TraceFormatError: On schema mismatch or ids absent from the
+            problem.
+    """
+    if data.get("schema") != PLACEMENT_SCHEMA:
+        raise TraceFormatError(
+            f"expected schema {PLACEMENT_SCHEMA!r}, got {data.get('schema')!r}"
+        )
+    try:
+        mapping = {str(k): str(v) for k, v in data["mapping"].items()}
+        return Placement.from_mapping(problem, mapping)
+    except (KeyError, TypeError) as exc:
+        raise TraceFormatError(f"malformed placement document: {exc}") from exc
+
+
+def save_placement(placement: Placement, path: str | Path) -> None:
+    """Write a placement to a JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(placement_to_dict(placement), fh, indent=1, sort_keys=True)
+
+
+def load_placement(path: str | Path, problem: PlacementProblem) -> Placement:
+    """Read a placement written by :func:`save_placement`."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return placement_from_dict(json.load(fh), problem)
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read placement {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"invalid JSON in {path}: {exc}") from exc

@@ -1,0 +1,125 @@
+"""Placement-strategy registry and correlation-oblivious controls.
+
+Besides the paper's three strategies (random hashing, greedy,
+LPRR), two classic correlation-oblivious controls are provided —
+round-robin and best-fit-decreasing — so experiments can separate
+"correlation awareness" from mere "load balancing".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.core.greedy import greedy_placement
+from repro.core.hashing import random_hash_placement
+from repro.core.placement import Placement
+from repro.core.problem import PlacementProblem
+from repro.exceptions import InfeasibleProblemError
+
+
+class PlacementStrategy(Protocol):
+    """Anything that maps a problem to a total placement."""
+
+    def __call__(self, problem: PlacementProblem) -> Placement: ...
+
+
+_REGISTRY: dict[str, PlacementStrategy] = {}
+
+
+def register_strategy(name: str) -> Callable[[PlacementStrategy], PlacementStrategy]:
+    """Decorator registering a strategy under ``name``."""
+
+    def decorator(func: PlacementStrategy) -> PlacementStrategy:
+        if name in _REGISTRY:
+            raise ValueError(f"strategy {name!r} already registered")
+        _REGISTRY[name] = func
+        return func
+
+    return decorator
+
+
+def get_strategy(name: str) -> PlacementStrategy:
+    """Look up a registered strategy by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_strategies() -> list[str]:
+    """Names of all registered strategies."""
+    return sorted(_REGISTRY)
+
+
+@register_strategy("hash")
+def _hash(problem: PlacementProblem) -> Placement:
+    return random_hash_placement(problem)
+
+
+@register_strategy("greedy")
+def _greedy(problem: PlacementProblem) -> Placement:
+    return greedy_placement(problem)
+
+
+@register_strategy("round_robin")
+def round_robin_placement(problem: PlacementProblem) -> Placement:
+    """Assign objects cyclically: object ``i`` to node ``i mod n``."""
+    assignment = np.arange(problem.num_objects, dtype=np.int64) % problem.num_nodes
+    return Placement(problem, assignment)
+
+
+@register_strategy("best_fit_decreasing")
+def best_fit_decreasing_placement(
+    problem: PlacementProblem, strict_capacity: bool = False
+) -> Placement:
+    """Classic bin-packing heuristic: biggest objects first, best fit.
+
+    Args:
+        problem: The CCA instance.
+        strict_capacity: When True, raise
+            :class:`InfeasibleProblemError` instead of overflowing the
+            least-loaded node.
+    """
+    assignment = np.empty(problem.num_objects, dtype=np.int64)
+    free = problem.capacities.astype(float).copy()
+    for i in np.argsort(-problem.sizes, kind="stable"):
+        fits = np.where(free >= problem.sizes[i])[0]
+        if fits.size:
+            k = int(fits[np.argmin(free[fits])])
+        elif strict_capacity:
+            raise InfeasibleProblemError(
+                f"best-fit cannot place object {problem.object_ids[i]!r}"
+            )
+        else:
+            k = int(np.argmax(free))
+        assignment[i] = k
+        free[k] -= problem.sizes[i]
+    return Placement(problem, assignment)
+
+
+@register_strategy("spectral")
+def _spectral(problem: PlacementProblem) -> Placement:
+    # Imported lazily: spectral pulls in dense linear algebra.
+    from repro.core.spectral import spectral_placement
+
+    return spectral_placement(problem)
+
+
+@register_strategy("local_search")
+def _local_search(problem: PlacementProblem) -> Placement:
+    # Imported lazily: local_search composes greedy as its start.
+    from repro.core.local_search import local_search_placement
+
+    return local_search_placement(problem, rng=0)
+
+
+@register_strategy("lprr")
+def _lprr(problem: PlacementProblem) -> Placement:
+    # Imported lazily to avoid a cycle (lprr composes other strategies).
+    from repro.core.lprr import LPRRPlanner
+
+    return LPRRPlanner(seed=0).plan(problem).placement

@@ -1,0 +1,26 @@
+"""Distributed database substrate.
+
+Section 1.1's second motivating application: "an aggregation query
+accesses multiple data objects in a distributed database".  This
+subpackage is that application made concrete — relational tables as
+placement objects, join/aggregation queries as multi-object operations,
+and a distributed executor whose communication accounting matches the
+CCA cost model (a two-table join ships the smaller relation).
+"""
+
+from repro.database.engine import DatabaseStats, DistributedDatabase, QueryResult
+from repro.database.queries import AggregateQuery, JoinQuery
+from repro.database.table import Table
+from repro.database.workload import SchemaConfig, generate_schema, generate_queries
+
+__all__ = [
+    "AggregateQuery",
+    "DatabaseStats",
+    "DistributedDatabase",
+    "JoinQuery",
+    "QueryResult",
+    "SchemaConfig",
+    "Table",
+    "generate_queries",
+    "generate_schema",
+]

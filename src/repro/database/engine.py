@@ -1,0 +1,214 @@
+"""The distributed database executor with communication accounting.
+
+Join execution mirrors the search engine's pipelined intersection:
+relations are visited smallest-first, the running join result ships to
+the next table's node when they differ, and every shipped byte is
+charged to the sending node.  Aggregate queries reduce locally and ship
+only scalars (free, like the paper's ranked-result returns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping
+
+from repro.core.placement import Placement
+from repro.core.problem import PlacementProblem
+from repro.database.queries import AggregateQuery, JoinQuery
+from repro.database.table import ROW_HEADER_BYTES, VALUE_BYTES, Table
+
+NodeId = Hashable
+
+
+def _table_bytes(table: Table) -> int:
+    per_row = ROW_HEADER_BYTES + VALUE_BYTES * len(table.column_names)
+    return per_row * table.num_rows
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one query.
+
+    Attributes:
+        value: The aggregate value (or joined row count).
+        rows: Rows in the final (pre-aggregate) result.
+        bytes_transferred: Inter-node bytes moved.
+        nodes_contacted: Distinct nodes involved.
+        hops: Inter-node shipments performed.
+    """
+
+    value: float
+    rows: int
+    bytes_transferred: int
+    nodes_contacted: int
+    hops: int
+
+    @property
+    def is_local(self) -> bool:
+        """Whether the query ran without moving data."""
+        return self.bytes_transferred == 0
+
+
+@dataclass
+class DatabaseStats:
+    """Aggregate statistics over executed queries."""
+
+    queries: int = 0
+    total_bytes: int = 0
+    local_queries: int = 0
+    total_hops: int = 0
+
+    def record(self, result: QueryResult) -> None:
+        """Fold one result into the totals."""
+        self.queries += 1
+        self.total_bytes += result.bytes_transferred
+        self.total_hops += result.hops
+        if result.is_local:
+            self.local_queries += 1
+
+    @property
+    def local_fraction(self) -> float:
+        """Fraction of queries that ran without communication."""
+        return self.local_queries / self.queries if self.queries else 0.0
+
+
+class DistributedDatabase:
+    """Tables spread over nodes, with a placement lookup.
+
+    Args:
+        tables: The table catalog.
+        placement: Table-name -> node mapping or a
+            :class:`~repro.core.placement.Placement` over table names.
+    """
+
+    def __init__(
+        self,
+        tables: Iterable[Table],
+        placement: Placement | Mapping[str, NodeId],
+    ):
+        self.catalog: dict[str, Table] = {t.name: t for t in tables}
+        if isinstance(placement, Placement):
+            self.lookup: dict[str, NodeId] = {
+                str(k): v for k, v in placement.to_mapping().items()
+            }
+        else:
+            self.lookup = dict(placement)
+        missing = [name for name in self.catalog if name not in self.lookup]
+        if missing:
+            raise ValueError(f"tables without a node assignment: {missing}")
+
+    def table(self, name: str) -> Table:
+        """Catalog lookup.
+
+        Raises:
+            KeyError: For unknown tables.
+        """
+        try:
+            return self.catalog[name]
+        except KeyError:
+            raise KeyError(f"unknown table {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute_join(self, query: JoinQuery) -> QueryResult:
+        """Run an equi-join chain, smallest relation first."""
+        tables = [self.table(name) for name in query.tables]
+        tables.sort(key=lambda t: (t.size_bytes, t.name))
+        current = tables[0]
+        current_node = self.lookup[tables[0].name]
+        nodes = {self.lookup[t.name] for t in tables}
+        transferred = 0
+        hops = 0
+        for nxt in tables[1:]:
+            target = self.lookup[nxt.name]
+            if target != current_node:
+                transferred += _table_bytes(current)
+                hops += 1
+                current_node = target
+            current = current.join(nxt, on=query.on)
+
+        if query.aggregate_column is None:
+            value = float(current.num_rows)
+        else:
+            value = current.aggregate(query.aggregate_column, query.aggregate_op)
+        return QueryResult(
+            value=value,
+            rows=current.num_rows,
+            bytes_transferred=transferred,
+            nodes_contacted=len(nodes),
+            hops=hops,
+        )
+
+    def execute_aggregate(self, query: AggregateQuery) -> QueryResult:
+        """Scatter/gather aggregation: local partials, scalar gather."""
+        partials = []
+        nodes = set()
+        for name in query.tables:
+            table = self.table(name)
+            nodes.add(self.lookup[name])
+            if table.has_column(query.column):
+                partials.append(table.aggregate(query.column, query.op))
+        value = _combine(partials, query.op)
+        # Scalar partials are control traffic — free, as in the paper.
+        return QueryResult(
+            value=value,
+            rows=len(partials),
+            bytes_transferred=0,
+            nodes_contacted=len(nodes),
+            hops=max(len(nodes) - 1, 0),
+        )
+
+    def execute_log(
+        self, queries: Iterable[JoinQuery | AggregateQuery]
+    ) -> DatabaseStats:
+        """Execute a mixed query stream and aggregate statistics."""
+        stats = DatabaseStats()
+        for query in queries:
+            if isinstance(query, JoinQuery):
+                stats.record(self.execute_join(query))
+            elif isinstance(query, AggregateQuery):
+                stats.record(self.execute_aggregate(query))
+            else:
+                raise TypeError(f"unsupported query type {type(query).__name__}")
+        return stats
+
+    # ------------------------------------------------------------------
+    # Placement bridge
+    # ------------------------------------------------------------------
+    def placement_problem(
+        self,
+        queries: Iterable[JoinQuery | AggregateQuery],
+        nodes: Mapping[NodeId, float] | int,
+        min_support: int = 1,
+    ) -> PlacementProblem:
+        """Build the CCA instance for this catalog and a query trace.
+
+        Join queries use the two-smallest reduction (they are
+        intersection-like); aggregate queries move no table data and
+        contribute no correlations.
+        """
+        from repro.core.correlation import two_smallest_correlations
+
+        sizes = {name: float(t.size_bytes) for name, t in self.catalog.items()}
+        trace = [
+            q.objects for q in queries if isinstance(q, JoinQuery)
+        ]
+        correlations = two_smallest_correlations(trace, sizes, min_support)
+        return PlacementProblem.build(sizes, nodes, correlations)
+
+
+def _combine(partials: list[float], op: str) -> float:
+    if not partials:
+        return float("nan") if op in ("min", "max", "mean") else 0.0
+    if op in ("sum", "count"):
+        return float(sum(partials))
+    if op == "min":
+        return float(min(partials))
+    if op == "max":
+        return float(max(partials))
+    if op == "mean":
+        # Mean of per-table means is not the global mean in general;
+        # the substrate keeps the simple semantics and documents it.
+        return float(sum(partials) / len(partials))
+    raise ValueError(f"unknown aggregate {op!r}")

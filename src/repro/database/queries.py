@@ -1,0 +1,71 @@
+"""Query descriptions for the database substrate.
+
+Two multi-object operation classes, matching Section 3.2's taxonomy:
+
+* :class:`JoinQuery` — intersection-like: tables chain through equi-
+  joins, the running result shrinking as it goes;
+* :class:`AggregateQuery` — union-like only in its access pattern: it
+  touches several tables and reduces each locally, shipping scalar
+  partials (which the paper's accounting treats as free control
+  traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class JoinQuery:
+    """An equi-join chain over two or more tables.
+
+    Attributes:
+        tables: Table names, in declaration order (the executor is free
+            to reorder — smaller relations first).
+        on: The shared join column.
+        aggregate_column: Optional column of the final result to
+            aggregate (``None`` returns the row count).
+        aggregate_op: Aggregate operator when a column is given.
+    """
+
+    tables: tuple[str, ...]
+    on: str
+    aggregate_column: str | None = None
+    aggregate_op: str = "sum"
+
+    def __post_init__(self):
+        if len(self.tables) < 2:
+            raise ValueError("a join needs at least two tables")
+        if len(set(self.tables)) != len(self.tables):
+            raise ValueError("join tables must be distinct")
+
+    @property
+    def objects(self) -> tuple[str, ...]:
+        """The placement objects this query touches."""
+        return self.tables
+
+
+@dataclass(frozen=True)
+class AggregateQuery:
+    """Per-table aggregation over several tables (scatter/gather).
+
+    Attributes:
+        tables: Table names to aggregate.
+        column: Column aggregated in each table (tables lacking it
+            contribute nothing).
+        op: Aggregate operator.
+    """
+
+    tables: tuple[str, ...]
+    column: str = "value"
+    op: str = "sum"
+
+    def __post_init__(self):
+        if not self.tables:
+            raise ValueError("an aggregate query needs at least one table")
+
+    @property
+    def objects(self) -> tuple[str, ...]:
+        """The placement objects this query touches."""
+        return self.tables

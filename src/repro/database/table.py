@@ -1,0 +1,147 @@
+"""Tables: the placement objects of the database substrate.
+
+A table is a named collection of fixed-width rows over named columns.
+Rows are numpy record-like column arrays (int64 values keep the
+substrate simple — the placement problem only cares about byte sizes
+and join selectivities, not SQL types).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+ROW_HEADER_BYTES = 8  # per-row id/overhead, mirroring the 8-byte page ids
+VALUE_BYTES = 8  # one int64 cell
+
+
+class Table:
+    """A named table of int64 columns.
+
+    Args:
+        name: Table name (the placement object id).
+        columns: Column name -> value array; all columns must share one
+            length.
+    """
+
+    def __init__(self, name: str, columns: Mapping[str, np.ndarray]):
+        self.name = str(name)
+        self._columns: dict[str, np.ndarray] = {}
+        length = None
+        for column, values in columns.items():
+            array = np.asarray(values, dtype=np.int64)
+            if array.ndim != 1:
+                raise ValueError(f"column {column!r} must be one-dimensional")
+            if length is None:
+                length = array.size
+            elif array.size != length:
+                raise ValueError(
+                    f"column {column!r} has {array.size} rows, expected {length}"
+                )
+            self._columns[str(column)] = array
+        if not self._columns:
+            raise ValueError(f"table {self.name!r} needs at least one column")
+        self._length = int(length or 0)
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        """Row count."""
+        return self._length
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Column names, in definition order."""
+        return tuple(self._columns)
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage footprint: header plus cells, per row."""
+        per_row = ROW_HEADER_BYTES + VALUE_BYTES * len(self._columns)
+        return per_row * self._length
+
+    def column(self, name: str) -> np.ndarray:
+        """One column's values.
+
+        Raises:
+            KeyError: For unknown columns.
+        """
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(f"table {self.name!r} has no column {name!r}") from None
+
+    def has_column(self, name: str) -> bool:
+        """Whether the table defines ``name``."""
+        return name in self._columns
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def select(self, mask: np.ndarray) -> "Table":
+        """Rows where ``mask`` is true, as a new table."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self._length,):
+            raise ValueError("mask length must equal row count")
+        return Table(self.name, {c: v[mask] for c, v in self._columns.items()})
+
+    def join(self, other: "Table", on: str) -> "Table":
+        """Inner equi-join on a shared column.
+
+        Columns of ``other`` (except the key) are suffixed with its
+        table name on collision.  Join order does not affect the result
+        contents (up to row order).
+
+        Raises:
+            KeyError: When either side lacks the join column.
+        """
+        left_keys = self.column(on)
+        right_keys = other.column(on)
+        # Sort-merge style matching via searchsorted on the right side.
+        right_order = np.argsort(right_keys, kind="stable")
+        sorted_right = right_keys[right_order]
+        left_pos = np.searchsorted(sorted_right, left_keys, side="left")
+        right_end = np.searchsorted(sorted_right, left_keys, side="right")
+
+        left_indices: list[int] = []
+        right_indices: list[int] = []
+        for i, (start, end) in enumerate(zip(left_pos, right_end)):
+            for j in range(start, end):
+                left_indices.append(i)
+                right_indices.append(int(right_order[j]))
+        left_idx = np.asarray(left_indices, dtype=np.int64)
+        right_idx = np.asarray(right_indices, dtype=np.int64)
+
+        columns: dict[str, np.ndarray] = {
+            c: v[left_idx] for c, v in self._columns.items()
+        }
+        for c, v in other._columns.items():
+            if c == on:
+                continue
+            key = c if c not in columns else f"{other.name}.{c}"
+            columns[key] = v[right_idx]
+        return Table(f"{self.name}*{other.name}", columns)
+
+    def aggregate(self, column: str, op: str = "sum") -> float:
+        """Aggregate one column (``sum``, ``count``, ``min``, ``max``, ``mean``)."""
+        values = self.column(column)
+        if op == "sum":
+            return float(values.sum())
+        if op == "count":
+            return float(values.size)
+        if op == "min":
+            return float(values.min()) if values.size else float("nan")
+        if op == "max":
+            return float(values.max()) if values.size else float("nan")
+        if op == "mean":
+            return float(values.mean()) if values.size else float("nan")
+        raise ValueError(f"unknown aggregate {op!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, rows={self.num_rows}, "
+            f"columns={len(self._columns)})"
+        )

@@ -1,0 +1,37 @@
+"""Experiment harness: one module per paper figure, plus ablations.
+
+Each experiment is a plain function taking a config dataclass and
+returning a result dataclass with a ``render()`` method; the benchmark
+suite, the CLI, and the examples all call the same code so paper
+figures are regenerated identically everywhere.
+"""
+
+from repro.experiments.common import CaseStudy, CaseStudyConfig
+from repro.experiments.fig2 import (
+    SkewStabilityConfig,
+    SkewStabilityResult,
+    run_skewness_stability,
+)
+from repro.experiments.fig5 import DominanceConfig, DominanceResult, run_dominance
+from repro.experiments.fig6 import ScopeSweepConfig, ScopeSweepResult, run_scope_sweep
+from repro.experiments.fig7 import NodeSweepConfig, NodeSweepResult, run_node_sweep
+from repro.experiments.report import FullReport, run_full_report
+
+__all__ = [
+    "CaseStudy",
+    "CaseStudyConfig",
+    "DominanceConfig",
+    "DominanceResult",
+    "FullReport",
+    "NodeSweepConfig",
+    "NodeSweepResult",
+    "ScopeSweepConfig",
+    "ScopeSweepResult",
+    "SkewStabilityConfig",
+    "SkewStabilityResult",
+    "run_dominance",
+    "run_full_report",
+    "run_node_sweep",
+    "run_scope_sweep",
+    "run_skewness_stability",
+]

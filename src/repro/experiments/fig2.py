@@ -1,0 +1,113 @@
+"""Figure 2: skewness and stability of keyword-pair correlations.
+
+(A) ranks the most correlated pairs of period one and reports the
+probability curve (the paper's trace: pair #1 is 177x pair #1000);
+(B) looks those same pairs up in period two and reports the fraction
+whose probability changed by more than 2x (paper: 1.2%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.asciiplot import ascii_chart
+from repro.analysis.skewness import pair_probability_curve, skew_ratio
+from repro.analysis.stability import StabilityReport, stability_report
+from repro.core.correlation import cooccurrence_correlations
+from repro.experiments.common import CaseStudy
+
+
+@dataclass(frozen=True)
+class SkewStabilityConfig:
+    """Parameters for the Figure 2 analysis.
+
+    ``min_count`` applies to the stability panel only: pairs observed
+    fewer times than this in period one are not tracked, because their
+    probability estimates are sampling noise.  The paper's top-1000
+    pairs over 29M queries all had thousands of observations; at
+    laptop-scale traces the threshold plays that role.
+    """
+
+    top_pairs: int = 1000
+    change_factor: float = 2.0
+    min_count: int = 10
+
+
+@dataclass(frozen=True)
+class SkewStabilityResult:
+    """Figure 2's two panels as data.
+
+    Attributes:
+        ranks: Pair ranks reported (1-based checkpoints).
+        period1_probabilities: Period-one probability at each rank.
+        period2_probabilities: Period-two probability of the same pairs.
+        skew: Ratio of rank-1 to rank-``top_pairs`` probability (2A).
+        stability: Full period-over-period report (2B).
+    """
+
+    ranks: tuple[int, ...]
+    period1_probabilities: tuple[float, ...]
+    period2_probabilities: tuple[float, ...]
+    skew: float
+    stability: StabilityReport
+
+    def render(self) -> str:
+        """Figure 2 as text."""
+        lines = [
+            "Figure 2(A) — skewness of keyword-pair correlations",
+            f"  top-1 / top-{self.ranks[-1]} probability ratio: {self.skew:.1f}x",
+            "  rank: probability (period 1)",
+        ]
+        for rank, p1 in zip(self.ranks, self.period1_probabilities):
+            lines.append(f"    #{rank}: {p1:.3e}")
+        lines += [
+            "Figure 2(B) — stability across periods",
+            f"  pairs changing >{2.0:.0f}x or <1/2: "
+            f"{self.stability.unstable_fraction:.1%} (paper: 1.2%)",
+        ]
+        period2 = [
+            (rank, p2)
+            for rank, p2 in zip(self.ranks, self.period2_probabilities)
+            if p2 > 0
+        ]
+        series = {"period 1": (list(self.ranks), list(self.period1_probabilities))}
+        if period2:
+            series["period 2"] = ([r for r, _ in period2], [p for _, p in period2])
+        lines.append(
+            ascii_chart(series, log_y=True, title="ranked pair probabilities")
+        )
+        return "\n".join(lines)
+
+
+def run_skewness_stability(
+    study: CaseStudy, config: SkewStabilityConfig = SkewStabilityConfig()
+) -> SkewStabilityResult:
+    """Run the Figure 2 analysis on a case study's two periods."""
+    corr1 = cooccurrence_correlations(study.log.operations())
+    corr2 = cooccurrence_correlations(study.log_period2.operations())
+
+    pairs, probs = pair_probability_curve(corr1, top_k=config.top_pairs)
+    supported = cooccurrence_correlations(
+        study.log.operations(), min_support=config.min_count
+    )
+    report = stability_report(
+        supported,
+        corr2,
+        top_k=config.top_pairs,
+        change_factor=config.change_factor,
+    )
+
+    # Checkpoint ranks: 1, then every ~10% of the curve, then the last.
+    k = len(pairs)
+    step = max(k // 10, 1)
+    checkpoints = sorted({1, *range(step, k + 1, step), k}) if k else []
+    ranks = tuple(checkpoints)
+    return SkewStabilityResult(
+        ranks=ranks,
+        period1_probabilities=tuple(probs[r - 1] for r in ranks),
+        period2_probabilities=tuple(
+            float(corr2.get(pairs[r - 1], 0.0)) for r in ranks
+        ),
+        skew=skew_ratio(probs),
+        stability=report,
+    )

@@ -1,0 +1,79 @@
+"""Figure 5: dominance of the most important keywords.
+
+Cumulative fraction of total index size and of total inter-keyword
+communication cost covered by the top-ranked keywords — the evidence
+that a small optimization scope captures most of the benefit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.asciiplot import ascii_chart
+from repro.analysis.dominance import DominanceCurves, dominance_curves
+from repro.analysis.reporting import format_table
+from repro.experiments.common import CaseStudy
+
+
+@dataclass(frozen=True)
+class DominanceConfig:
+    """Parameters for the Figure 5 analysis."""
+
+    checkpoints: Sequence[int] | None = None
+    num_nodes: int = 10  # only affects problem construction, not curves
+
+
+@dataclass(frozen=True)
+class DominanceResult:
+    """Figure 5 as data."""
+
+    curves: DominanceCurves
+    vocabulary_size: int
+
+    def render(self) -> str:
+        """Figure 5 as a text table."""
+        rows = [
+            [scope, size, cost]
+            for scope, size, cost in zip(
+                self.curves.checkpoints,
+                self.curves.size_fraction,
+                self.curves.cost_fraction,
+            )
+        ]
+        table = format_table(
+            ["top keywords", "cum. index size", "cum. comm. cost"], rows
+        )
+        chart = ascii_chart(
+            {
+                "index size": (
+                    list(self.curves.checkpoints),
+                    list(self.curves.size_fraction),
+                ),
+                "comm. cost": (
+                    list(self.curves.checkpoints),
+                    list(self.curves.cost_fraction),
+                ),
+            },
+            title="cumulative coverage vs importance rank",
+        )
+        return (
+            "Figure 5 — dominance of important keywords "
+            f"(vocabulary: {self.vocabulary_size})\n" + table + "\n" + chart
+        )
+
+
+def run_dominance(
+    study: CaseStudy, config: DominanceConfig = DominanceConfig()
+) -> DominanceResult:
+    """Compute Figure 5's curves for a case study."""
+    problem = study.placement_problem(config.num_nodes)
+    checkpoints = config.checkpoints
+    if checkpoints is None:
+        t = problem.num_objects
+        step = max(t // 12, 1)
+        checkpoints = list(range(step, t + 1, step))
+        if checkpoints[-1] != t:
+            checkpoints.append(t)
+    curves = dominance_curves(problem, checkpoints=list(checkpoints))
+    return DominanceResult(curves=curves, vocabulary_size=problem.num_objects)

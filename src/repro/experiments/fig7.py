@@ -1,0 +1,101 @@
+"""Figure 7: communication cost vs system size.
+
+Fix the optimization scope and sweep the number of nodes (the paper
+uses 10..100 at scope 10000).  Paper shape: LPRR saves 73-86% with the
+best reductions in the middle of the range; greedy is only effective at
+small node counts (large per-node capacity) and degrades as nodes grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.asciiplot import ascii_chart
+from repro.analysis.reporting import format_table
+from repro.experiments.common import CaseStudy
+
+
+@dataclass(frozen=True)
+class NodeSweepConfig:
+    """Parameters for the Figure 7 sweep."""
+
+    node_counts: Sequence[int] = (10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+    scope: int | None = 1000
+    rounding_trials: int = 10
+
+
+@dataclass(frozen=True)
+class NodeSweepResult:
+    """Figure 7 as data: per-system-size normalized costs.
+
+    The hash baseline is recomputed at every node count (random
+    placement gets *more* expensive as nodes grow: a pair splits with
+    probability (n-1)/n).
+    """
+
+    node_counts: tuple[int, ...]
+    hash_bytes: tuple[int, ...]
+    greedy_bytes: tuple[int, ...]
+    lprr_bytes: tuple[int, ...]
+
+    @property
+    def normalized_greedy(self) -> tuple[float, ...]:
+        """Greedy cost over hash cost, per node count."""
+        return tuple(g / h for g, h in zip(self.greedy_bytes, self.hash_bytes))
+
+    @property
+    def normalized_lprr(self) -> tuple[float, ...]:
+        """LPRR cost over hash cost, per node count."""
+        return tuple(l / h for l, h in zip(self.lprr_bytes, self.hash_bytes))
+
+    @property
+    def lprr_saving_range(self) -> tuple[float, float]:
+        """(min, max) fractional savings of LPRR across system sizes."""
+        savings = [1.0 - v for v in self.normalized_lprr]
+        return min(savings), max(savings)
+
+    def render(self) -> str:
+        """Figure 7 as a text table."""
+        rows = [
+            [n, g, l]
+            for n, g, l in zip(
+                self.node_counts, self.normalized_greedy, self.normalized_lprr
+            )
+        ]
+        table = format_table(["nodes", "greedy / hash", "LPRR / hash"], rows)
+        lo, hi = self.lprr_saving_range
+        chart = ascii_chart(
+            {
+                "greedy/hash": (list(self.node_counts), list(self.normalized_greedy)),
+                "LPRR/hash": (list(self.node_counts), list(self.normalized_lprr)),
+            },
+            title="normalized communication vs nodes",
+        )
+        return (
+            "Figure 7 — normalized communication vs system size\n"
+            + table
+            + f"\nLPRR savings range: {lo:.0%}-{hi:.0%} (paper: 73%-86%)"
+            + "\n" + chart
+        )
+
+
+def run_node_sweep(
+    study: CaseStudy, config: NodeSweepConfig = NodeSweepConfig()
+) -> NodeSweepResult:
+    """Run the Figure 7 sweep on a case study."""
+    hash_bytes, greedy_bytes, lprr_bytes = [], [], []
+    for n in config.node_counts:
+        hash_bytes.append(study.replay_cost(study.place_hash(n)))
+        greedy_bytes.append(study.replay_cost(study.place_greedy(n, config.scope)))
+        lprr_bytes.append(
+            study.replay_cost(
+                study.place_lprr(n, config.scope, config.rounding_trials)
+            )
+        )
+    return NodeSweepResult(
+        node_counts=tuple(config.node_counts),
+        hash_bytes=tuple(hash_bytes),
+        greedy_bytes=tuple(greedy_bytes),
+        lprr_bytes=tuple(lprr_bytes),
+    )

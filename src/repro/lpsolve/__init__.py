@@ -1,0 +1,26 @@
+"""A small linear-programming substrate.
+
+The paper solved its relaxed placement program with the standalone
+LPsolve package.  This subpackage plays that role: a modelling layer
+(:class:`~repro.lpsolve.model.LinearProgram`) over two interchangeable
+backends — scipy's HiGHS solver (the default, used for all real
+experiments) and a self-contained dense two-phase simplex
+(:func:`~repro.lpsolve.simplex.solve_simplex`, used as an independent
+cross-check on small programs).
+"""
+
+from repro.lpsolve.model import Constraint, LinearProgram, Sense, Variable
+from repro.lpsolve.result import LPResult, LPStatus
+from repro.lpsolve.scipy_backend import solve_with_scipy
+from repro.lpsolve.simplex import solve_simplex
+
+__all__ = [
+    "Constraint",
+    "LinearProgram",
+    "LPResult",
+    "LPStatus",
+    "Sense",
+    "Variable",
+    "solve_simplex",
+    "solve_with_scipy",
+]

@@ -1,0 +1,313 @@
+"""Linear-program modelling layer.
+
+A :class:`LinearProgram` collects variables and sparse linear
+constraints, then dispatches to a backend for the actual solve.  The
+design goal is the one the paper needed from LPsolve: build a program
+with hundreds of thousands of variables cheaply (append-only arrays, no
+per-constraint Python objects on the hot path) and hand it to an exact
+LP solver.
+
+Example:
+    >>> lp = LinearProgram("toy")
+    >>> x = lp.add_variable("x", objective=1.0)
+    >>> y = lp.add_variable("y", objective=2.0)
+    >>> _ = lp.add_constraint([(x, 1.0), (y, 1.0)], Sense.GE, 1.0)
+    >>> result = lp.solve()
+    >>> round(result.objective, 6)
+    1.0
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import SolverError
+from repro.lpsolve.result import LPResult
+
+
+class Sense(enum.Enum):
+    """Direction of a linear constraint."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A decision variable: an index plus descriptive metadata."""
+
+    index: int
+    name: str
+    lower: float
+    upper: float
+
+    def __index__(self) -> int:
+        return self.index
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A handle to a constraint row (index plus metadata)."""
+
+    index: int
+    name: str
+    sense: Sense
+    rhs: float
+
+
+class LinearProgram:
+    """A minimization linear program built incrementally.
+
+    Variables default to ``[0, +inf)`` bounds and a zero objective
+    coefficient.  Constraints are stored as COO triplets so that
+    building a program with ``O(|T| * |N|)`` rows (the paper's placement
+    LP) stays linear-time.
+    """
+
+    def __init__(self, name: str = "lp"):
+        self.name = name
+        self._var_names: list[str] = []
+        self._lower: list[float] = []
+        self._upper: list[float] = []
+        self._objective: list[float] = []
+        # Constraint matrix in COO triplet form.
+        self._rows: list[int] = []
+        self._cols: list[int] = []
+        self._vals: list[float] = []
+        self._senses: list[Sense] = []
+        self._rhs: list[float] = []
+        self._con_names: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @property
+    def num_variables(self) -> int:
+        """Number of variables added so far."""
+        return len(self._var_names)
+
+    @property
+    def num_constraints(self) -> int:
+        """Number of constraint rows added so far."""
+        return len(self._rhs)
+
+    @property
+    def num_nonzeros(self) -> int:
+        """Number of nonzero constraint coefficients."""
+        return len(self._vals)
+
+    def add_variable(
+        self,
+        name: str = "",
+        lower: float = 0.0,
+        upper: float = float("inf"),
+        objective: float = 0.0,
+    ) -> Variable:
+        """Add one decision variable and return its handle.
+
+        Args:
+            name: Optional descriptive name (auto-generated if empty).
+            lower: Lower bound (default 0).
+            upper: Upper bound (default +inf).
+            objective: Coefficient in the minimization objective.
+        """
+        if lower > upper:
+            raise ValueError(f"variable {name!r}: lower {lower} > upper {upper}")
+        index = len(self._var_names)
+        if not name:
+            name = f"x{index}"
+        self._var_names.append(name)
+        self._lower.append(float(lower))
+        self._upper.append(float(upper))
+        self._objective.append(float(objective))
+        return Variable(index, name, float(lower), float(upper))
+
+    def add_variables(
+        self,
+        count: int,
+        prefix: str = "x",
+        lower: float = 0.0,
+        upper: float = float("inf"),
+        objective: float = 0.0,
+    ) -> list[Variable]:
+        """Add ``count`` variables sharing bounds and objective weight."""
+        return [
+            self.add_variable(f"{prefix}{i}", lower, upper, objective)
+            for i in range(count)
+        ]
+
+    def set_objective(self, var: Variable | int, coefficient: float) -> None:
+        """Set (overwrite) the objective coefficient of one variable."""
+        self._objective[int(var)] = float(coefficient)
+
+    def add_constraint(
+        self,
+        terms: Iterable[tuple[Variable | int, float]],
+        sense: Sense,
+        rhs: float,
+        name: str = "",
+    ) -> Constraint:
+        """Add the constraint ``sum(coef * var) <sense> rhs``.
+
+        Args:
+            terms: Iterable of ``(variable, coefficient)`` pairs.  A
+                variable may appear more than once; coefficients add.
+            sense: Constraint direction.
+            rhs: Right-hand side.
+            name: Optional descriptive name.
+        """
+        row = len(self._rhs)
+        n = self.num_variables
+        for var, coef in terms:
+            col = int(var)
+            if not 0 <= col < n:
+                raise ValueError(f"constraint {name or row}: unknown variable {col}")
+            self._rows.append(row)
+            self._cols.append(col)
+            self._vals.append(float(coef))
+        self._senses.append(sense)
+        self._rhs.append(float(rhs))
+        self._con_names.append(name or f"c{row}")
+        return Constraint(row, self._con_names[-1], sense, float(rhs))
+
+    # ------------------------------------------------------------------
+    # Export / solve
+    # ------------------------------------------------------------------
+    def objective_vector(self) -> np.ndarray:
+        """The objective coefficients as a dense vector."""
+        return np.asarray(self._objective, dtype=float)
+
+    def bounds_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Lower and upper bound vectors."""
+        return (
+            np.asarray(self._lower, dtype=float),
+            np.asarray(self._upper, dtype=float),
+        )
+
+    def constraint_matrix(self) -> sp.csr_matrix:
+        """The full constraint matrix (all senses mixed) as CSR."""
+        return sp.coo_matrix(
+            (self._vals, (self._rows, self._cols)),
+            shape=(self.num_constraints, self.num_variables),
+        ).tocsr()
+
+    def split_by_sense(
+        self,
+    ) -> tuple[sp.csr_matrix, np.ndarray, sp.csr_matrix, np.ndarray]:
+        """Return ``(A_ub, b_ub, A_eq, b_eq)`` with GE rows negated to LE.
+
+        This is the form scipy's ``linprog`` expects.
+        """
+        matrix = self.constraint_matrix()
+        senses = np.asarray([s.value for s in self._senses])
+        rhs = np.asarray(self._rhs, dtype=float)
+
+        le_mask = senses == Sense.LE.value
+        ge_mask = senses == Sense.GE.value
+        eq_mask = senses == Sense.EQ.value
+
+        a_le = matrix[le_mask]
+        b_le = rhs[le_mask]
+        a_ge = -matrix[ge_mask]
+        b_ge = -rhs[ge_mask]
+        a_ub = sp.vstack([a_le, a_ge], format="csr") if (a_le.shape[0] or a_ge.shape[0]) else sp.csr_matrix((0, self.num_variables))
+        b_ub = np.concatenate([b_le, b_ge])
+        a_eq = matrix[eq_mask]
+        b_eq = rhs[eq_mask]
+        return a_ub, b_ub, a_eq, b_eq
+
+    def variable_name(self, index: int) -> str:
+        """Name of the variable at ``index``."""
+        return self._var_names[index]
+
+    def constraint_name(self, index: int) -> str:
+        """Name of the constraint row at ``index``."""
+        return self._con_names[index]
+
+    def constraint_index(self, name: str) -> int:
+        """Row index of the constraint named ``name``."""
+        try:
+            return self._con_names.index(name)
+        except ValueError:
+            raise KeyError(f"unknown constraint {name!r}") from None
+
+    def sense_order(self) -> tuple[np.ndarray, np.ndarray]:
+        """Original row indices of the (ub, eq) blocks that
+        :meth:`split_by_sense` produces, in block order.  GE rows are
+        listed in the ub block (they are negated to <= there)."""
+        senses = np.asarray([s.value for s in self._senses])
+        le_idx = np.where(senses == Sense.LE.value)[0]
+        ge_idx = np.where(senses == Sense.GE.value)[0]
+        eq_idx = np.where(senses == Sense.EQ.value)[0]
+        return np.concatenate([le_idx, ge_idx]), eq_idx
+
+    # Above this many variables, "auto" switches from dual simplex to
+    # interior point + crossover, which is far faster on the large
+    # placement LPs while still returning a basic solution.
+    AUTO_IPM_THRESHOLD = 50_000
+
+    def solve(self, backend: str = "auto") -> LPResult:
+        """Solve the program with the named backend.
+
+        Args:
+            backend: ``"auto"`` (default: HiGHS dual simplex for small
+                programs, interior point for large ones), ``"highs"``,
+                ``"highs-ipm"``, or ``"simplex"`` (the self-contained
+                dense solver; small programs only).
+        """
+        # Imported lazily to keep model-building import-light.
+        if backend == "auto":
+            backend = (
+                "highs-ipm"
+                if self.num_variables > self.AUTO_IPM_THRESHOLD
+                else "highs"
+            )
+        if backend in ("highs", "highs-ipm"):
+            from repro.lpsolve.scipy_backend import solve_with_scipy
+
+            return solve_with_scipy(self, method=backend)
+        if backend == "simplex":
+            from repro.lpsolve.simplex import solve_simplex
+
+            return solve_simplex(self)
+        raise SolverError(f"unknown LP backend: {backend!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"LinearProgram(name={self.name!r}, variables={self.num_variables}, "
+            f"constraints={self.num_constraints}, nonzeros={self.num_nonzeros})"
+        )
+
+
+def lp_from_arrays(
+    objective: Sequence[float],
+    a_ub: np.ndarray | None = None,
+    b_ub: Sequence[float] | None = None,
+    a_eq: np.ndarray | None = None,
+    b_eq: Sequence[float] | None = None,
+    name: str = "lp",
+) -> LinearProgram:
+    """Build a :class:`LinearProgram` from dense arrays (test helper)."""
+    lp = LinearProgram(name)
+    variables = [lp.add_variable(objective=c) for c in objective]
+    if a_ub is not None:
+        if b_ub is None:
+            raise ValueError("a_ub given without b_ub")
+        for row, rhs in zip(np.atleast_2d(a_ub), b_ub):
+            lp.add_constraint(
+                [(v, c) for v, c in zip(variables, row) if c != 0.0], Sense.LE, rhs
+            )
+    if a_eq is not None:
+        if b_eq is None:
+            raise ValueError("a_eq given without b_eq")
+        for row, rhs in zip(np.atleast_2d(a_eq), b_eq):
+            lp.add_constraint(
+                [(v, c) for v, c in zip(variables, row) if c != 0.0], Sense.EQ, rhs
+            )
+    return lp

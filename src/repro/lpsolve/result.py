@@ -1,0 +1,55 @@
+"""Solver results for the :mod:`repro.lpsolve` substrate."""
+
+from __future__ import annotations
+
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class LPStatus(enum.Enum):
+    """Terminal status of a linear-programming solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class LPResult:
+    """Outcome of solving a :class:`~repro.lpsolve.model.LinearProgram`.
+
+    Attributes:
+        status: Terminal solver status.
+        objective: Optimal objective value (``nan`` unless OPTIMAL).
+        x: Optimal variable values in definition order (empty unless
+            OPTIMAL).
+        message: Free-form diagnostic from the backend.
+        iterations: Iteration count reported by the backend, if any.
+        duals: Constraint dual values (shadow prices) in original
+            constraint order, when the backend provides them.  For a
+            minimization, the dual of a binding ``<=`` row is the rate
+            at which the optimum would improve per unit of extra
+            right-hand side.
+    """
+
+    status: LPStatus
+    objective: float = float("nan")
+    x: np.ndarray = field(default_factory=lambda: np.empty(0))
+    message: str = ""
+    iterations: int = 0
+    duals: np.ndarray | None = None
+
+    @property
+    def is_optimal(self) -> bool:
+        """Whether an optimal solution was found."""
+        return self.status is LPStatus.OPTIMAL
+
+    def value(self, index: int) -> float:
+        """Return the optimal value of the variable at ``index``."""
+        if not self.is_optimal:
+            raise ValueError(f"no solution available (status={self.status})")
+        return float(self.x[index])

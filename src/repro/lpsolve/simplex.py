@@ -1,0 +1,193 @@
+"""A self-contained dense two-phase simplex solver.
+
+This backend exists as an independent cross-check of the HiGHS backend:
+the placement experiments use HiGHS, while the test suite verifies on
+small programs that both backends agree to numerical tolerance.  It
+implements the textbook two-phase tableau method with Bland's rule for
+anti-cycling, so it is exact (up to floating point) but intended only
+for programs with at most a few hundred variables.
+
+Bounds handling: each variable must have a finite lower bound (the
+variable is shifted so the bound becomes zero); finite upper bounds are
+added as explicit constraint rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SolverError
+from repro.lpsolve.result import LPResult, LPStatus
+
+_TOL = 1e-9
+_MAX_ITERATIONS = 100_000
+
+
+def solve_simplex(lp) -> LPResult:
+    """Solve a :class:`repro.lpsolve.model.LinearProgram` exactly.
+
+    Args:
+        lp: The program to solve.  Every variable needs a finite lower
+            bound.
+
+    Returns:
+        An :class:`LPResult` with OPTIMAL / INFEASIBLE / UNBOUNDED
+        status.
+
+    Raises:
+        SolverError: On unbounded-below variables or iteration blowup.
+    """
+    n = lp.num_variables
+    if n == 0:
+        return LPResult(LPStatus.OPTIMAL, 0.0, np.empty(0), "empty program")
+
+    lower, upper = lp.bounds_arrays()
+    if np.any(np.isinf(lower)):
+        raise SolverError("simplex backend requires finite lower bounds")
+
+    c = lp.objective_vector()
+    a_ub, b_ub, a_eq, b_eq = lp.split_by_sense()
+    a_ub = np.asarray(a_ub.todense(), dtype=float)
+    a_eq = np.asarray(a_eq.todense(), dtype=float)
+
+    # Shift x = x' + lower so that x' >= 0.
+    b_ub = b_ub - a_ub @ lower if a_ub.size else b_ub
+    b_eq = b_eq - a_eq @ lower if a_eq.size else b_eq
+    objective_shift = float(c @ lower)
+
+    # Finite upper bounds become explicit <= rows on the shifted vars.
+    finite_ub = np.where(np.isfinite(upper))[0]
+    if finite_ub.size:
+        bound_rows = np.zeros((finite_ub.size, n))
+        bound_rows[np.arange(finite_ub.size), finite_ub] = 1.0
+        bound_rhs = upper[finite_ub] - lower[finite_ub]
+        a_ub = np.vstack([a_ub, bound_rows]) if a_ub.size else bound_rows
+        b_ub = np.concatenate([b_ub, bound_rhs])
+
+    rows: list[np.ndarray] = []
+    senses: list[str] = []
+    rhs: list[float] = []
+    for row, b in zip(a_ub, b_ub):
+        rows.append(np.asarray(row, dtype=float).ravel())
+        senses.append("<=")
+        rhs.append(float(b))
+    for row, b in zip(a_eq, b_eq):
+        rows.append(np.asarray(row, dtype=float).ravel())
+        senses.append("==")
+        rhs.append(float(b))
+
+    # Normalize to nonnegative right-hand sides.
+    for i in range(len(rows)):
+        if rhs[i] < 0:
+            rows[i] = -rows[i]
+            rhs[i] = -rhs[i]
+            if senses[i] == "<=":
+                senses[i] = ">="
+            elif senses[i] == ">=":
+                senses[i] = "<="
+
+    m = len(rows)
+    num_slack = sum(1 for s in senses if s in ("<=", ">="))
+    num_artificial = sum(1 for s in senses if s in (">=", "=="))
+    total = n + num_slack + num_artificial
+
+    tableau = np.zeros((m, total))
+    b_vec = np.asarray(rhs, dtype=float)
+    basis = np.empty(m, dtype=int)
+    slack_at = n
+    art_at = n + num_slack
+    artificial_cols: list[int] = []
+    for i, (row, sense) in enumerate(zip(rows, senses)):
+        tableau[i, :n] = row
+        if sense == "<=":
+            tableau[i, slack_at] = 1.0
+            basis[i] = slack_at
+            slack_at += 1
+        elif sense == ">=":
+            tableau[i, slack_at] = -1.0
+            slack_at += 1
+            tableau[i, art_at] = 1.0
+            basis[i] = art_at
+            artificial_cols.append(art_at)
+            art_at += 1
+        else:  # ==
+            tableau[i, art_at] = 1.0
+            basis[i] = art_at
+            artificial_cols.append(art_at)
+            art_at += 1
+
+    iterations = 0
+
+    def run_phase(costs: np.ndarray, allowed: int) -> str:
+        """Run simplex iterations; returns 'optimal' or 'unbounded'."""
+        nonlocal iterations
+        while True:
+            iterations += 1
+            if iterations > _MAX_ITERATIONS:
+                raise SolverError("simplex iteration limit exceeded")
+            # Reduced costs: costs - costs_B @ tableau (dense).
+            cb = costs[basis]
+            reduced = costs[:allowed] - cb @ tableau[:, :allowed]
+            # Bland's rule: smallest index with negative reduced cost.
+            entering_candidates = np.where(reduced < -_TOL)[0]
+            if entering_candidates.size == 0:
+                return "optimal"
+            entering = int(entering_candidates[0])
+            col = tableau[:, entering]
+            positive = np.where(col > _TOL)[0]
+            if positive.size == 0:
+                return "unbounded"
+            ratios = b_vec[positive] / col[positive]
+            best = ratios.min()
+            # Bland tie-break: smallest basis index among minimal ratios.
+            tied = positive[np.abs(ratios - best) <= _TOL * (1 + abs(best))]
+            leaving = int(tied[np.argmin(basis[tied])])
+            pivot(leaving, entering)
+
+    def pivot(row: int, col: int) -> None:
+        pivot_val = tableau[row, col]
+        tableau[row] /= pivot_val
+        b_vec[row] /= pivot_val
+        for i in range(m):
+            if i != row and abs(tableau[i, col]) > 0:
+                factor = tableau[i, col]
+                tableau[i] -= factor * tableau[row]
+                b_vec[i] -= factor * b_vec[row]
+        basis[row] = col
+
+    # Phase 1: drive artificial variables to zero.
+    if artificial_cols:
+        phase1_costs = np.zeros(total)
+        phase1_costs[artificial_cols] = 1.0
+        outcome = run_phase(phase1_costs, total)
+        if outcome == "unbounded":  # cannot happen: phase-1 objective >= 0
+            raise SolverError("phase-1 simplex reported unbounded")
+        infeasibility = float(b_vec[np.isin(basis, artificial_cols)].sum())
+        if infeasibility > 1e-7:
+            return LPResult(LPStatus.INFEASIBLE, message="phase-1 optimum positive")
+        # Pivot any artificial variables still (degenerately) in the basis.
+        art_set = set(artificial_cols)
+        for i in range(m):
+            if basis[i] in art_set:
+                candidates = np.where(np.abs(tableau[i, : n + num_slack]) > _TOL)[0]
+                if candidates.size:
+                    pivot(i, int(candidates[0]))
+
+    # Phase 2: original objective over structural + slack columns only.
+    phase2_costs = np.zeros(total)
+    phase2_costs[:n] = c
+    outcome = run_phase(phase2_costs, n + num_slack)
+    if outcome == "unbounded":
+        return LPResult(LPStatus.UNBOUNDED, message="phase-2 unbounded")
+
+    x_shifted = np.zeros(total)
+    x_shifted[basis] = b_vec
+    x = x_shifted[:n] + lower
+    objective = float(c @ x_shifted[:n]) + objective_shift
+    return LPResult(
+        LPStatus.OPTIMAL,
+        objective=objective,
+        x=x,
+        message="two-phase simplex",
+        iterations=iterations,
+    )

@@ -1,0 +1,82 @@
+"""Documents and corpora for the search substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.search.tokenizer import tokenize
+
+
+@dataclass(frozen=True)
+class Document:
+    """One web page: a URL-like identifier plus its distinct words.
+
+    Only the distinct-word set matters for inverted indexing; term
+    frequencies and positions were deliberately omitted by the paper
+    ("these information only help ranking ... not the focus").
+    """
+
+    doc_id: str
+    words: frozenset[str] = field(default_factory=frozenset)
+
+    @classmethod
+    def from_text(cls, doc_id: str, text: str, **tokenize_kwargs) -> "Document":
+        """Build a document by tokenizing raw text or HTML."""
+        return cls(doc_id, frozenset(tokenize(text, **tokenize_kwargs)))
+
+    @property
+    def num_distinct_words(self) -> int:
+        """Number of distinct indexed words in this page."""
+        return len(self.words)
+
+    def contains(self, word: str) -> bool:
+        """Whether the page contains ``word``."""
+        return word in self.words
+
+
+class Corpus:
+    """An in-memory collection of documents with vocabulary statistics."""
+
+    def __init__(self, documents: Iterable[Document] = ()):
+        self._documents: dict[str, Document] = {}
+        for doc in documents:
+            self.add(doc)
+
+    def add(self, document: Document) -> None:
+        """Add (or replace) a document."""
+        self._documents[document.doc_id] = document
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents.values())
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._documents
+
+    def get(self, doc_id: str) -> Document:
+        """Fetch a document by id (KeyError when absent)."""
+        return self._documents[doc_id]
+
+    @property
+    def vocabulary(self) -> set[str]:
+        """All distinct words across the corpus."""
+        vocab: set[str] = set()
+        for doc in self:
+            vocab |= doc.words
+        return vocab
+
+    def document_frequency(self, word: str) -> int:
+        """Number of documents containing ``word``."""
+        return sum(1 for doc in self if word in doc.words)
+
+    def average_distinct_words(self) -> float:
+        """Mean distinct words per document (paper reports ~114)."""
+        if not self._documents:
+            return 0.0
+        return sum(d.num_distinct_words for d in self) / len(self)
+
+    def __repr__(self) -> str:
+        return f"Corpus(documents={len(self)})"

@@ -1,0 +1,68 @@
+"""Inverted-index persistence.
+
+Index construction is the expensive part of the search substrate; this
+module saves a built :class:`~repro.search.index.InvertedIndex` to a
+single compressed ``.npz`` file (one posting array per keyword plus a
+vocabulary manifest) and loads it back without re-tokenizing anything.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import TraceFormatError
+from repro.search.index import InvertedIndex
+
+FORMAT_KEY = "__repro_index_format__"
+FORMAT_VERSION = 1
+VOCAB_KEY = "__vocabulary_json__"
+
+
+def save_index(index: InvertedIndex, path: str | Path) -> None:
+    """Write an index to a compressed ``.npz`` file.
+
+    Keyword names live in a JSON manifest inside the archive (npz keys
+    cannot hold arbitrary strings safely), postings as uint64 arrays
+    keyed by position.
+    """
+    vocabulary = index.vocabulary
+    arrays: dict[str, np.ndarray] = {
+        FORMAT_KEY: np.array([FORMAT_VERSION], dtype=np.int64),
+        VOCAB_KEY: np.frombuffer(
+            json.dumps(vocabulary).encode("utf-8"), dtype=np.uint8
+        ).copy(),
+    }
+    for position, word in enumerate(vocabulary):
+        arrays[f"p{position}"] = index.postings(word)
+    np.savez_compressed(path, **arrays)
+
+
+def load_index(path: str | Path) -> InvertedIndex:
+    """Read an index written by :func:`save_index`.
+
+    Raises:
+        TraceFormatError: On missing files, foreign archives, or
+            version mismatches.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            if FORMAT_KEY not in archive:
+                raise TraceFormatError(f"{path} is not a repro index archive")
+            version = int(archive[FORMAT_KEY][0])
+            if version != FORMAT_VERSION:
+                raise TraceFormatError(
+                    f"index format v{version} unsupported (expected v{FORMAT_VERSION})"
+                )
+            vocabulary = json.loads(bytes(archive[VOCAB_KEY]).decode("utf-8"))
+            postings = {
+                word: archive[f"p{position}"]
+                for position, word in enumerate(vocabulary)
+            }
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read index {path}: {exc}") from exc
+    except (KeyError, json.JSONDecodeError, ValueError) as exc:
+        raise TraceFormatError(f"corrupt index archive {path}: {exc}") from exc
+    return InvertedIndex(postings)

@@ -1,0 +1,55 @@
+"""Text preprocessing: HTML stripping and tokenization.
+
+Mirrors the paper's pipeline for web pages: "preprocessed by removing
+HTML tags and trivially popular words using the stopword list".
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.search.stopwords import STOPWORDS
+
+_TAG_RE = re.compile(r"<[^>]*>")
+_SCRIPT_RE = re.compile(r"<(script|style)\b[^>]*>.*?</\1>", re.IGNORECASE | re.DOTALL)
+_ENTITY_RE = re.compile(r"&[a-zA-Z]+;|&#\d+;")
+_WORD_RE = re.compile(r"[a-z0-9]+(?:'[a-z]+)?")
+
+
+def strip_html(text: str) -> str:
+    """Remove script/style blocks, tags, and entities from HTML text."""
+    text = _SCRIPT_RE.sub(" ", text)
+    text = _TAG_RE.sub(" ", text)
+    return _ENTITY_RE.sub(" ", text)
+
+
+def tokenize(
+    text: str,
+    remove_stopwords: bool = True,
+    min_length: int = 1,
+    strip_markup: bool = False,
+) -> list[str]:
+    """Split text into lowercase word tokens.
+
+    Args:
+        text: Raw text (or HTML when ``strip_markup`` is True).
+        remove_stopwords: Drop words in the stopword list.
+        min_length: Minimum token length to keep.
+        strip_markup: Run :func:`strip_html` first.
+
+    Returns:
+        Tokens in document order (duplicates preserved).
+    """
+    if strip_markup:
+        text = strip_html(text)
+    tokens = _WORD_RE.findall(text.lower())
+    if remove_stopwords:
+        tokens = [t for t in tokens if t not in STOPWORDS]
+    if min_length > 1:
+        tokens = [t for t in tokens if len(t) >= min_length]
+    return tokens
+
+
+def distinct_words(text: str, **kwargs) -> set[str]:
+    """The set of distinct tokens of ``text`` (same options as tokenize)."""
+    return set(tokenize(text, **kwargs))

@@ -1,0 +1,94 @@
+"""Adapters for real-world query-log formats.
+
+The paper's Ask.com traces are proprietary, but public logs with the
+same structure exist (e.g. the AOL-500k format: tab-separated
+``AnonID  Query  QueryTime [ItemRank  ClickURL]``).  These adapters
+load such files into :class:`~repro.search.query.QueryLog` so every
+experiment in this repository can run on real data when available.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.exceptions import TraceFormatError
+from repro.search.query import Query, QueryLog
+from repro.search.tokenizer import tokenize
+
+
+def load_aol_query_log(
+    path: str | Path,
+    max_queries: int | None = None,
+    skip_header: bool = True,
+    remove_stopwords: bool = False,
+    min_keywords: int = 1,
+) -> QueryLog:
+    """Load an AOL-format query log.
+
+    Expected columns (tab-separated): ``AnonID``, ``Query``,
+    ``QueryTime``, and optionally ``ItemRank``/``ClickURL``.  Queries
+    are lowercased and tokenized; duplicate submissions are kept (the
+    correlation estimators weight pairs by frequency, as the paper
+    does).
+
+    Args:
+        path: Path to the log file.
+        max_queries: Stop after this many parsed queries.
+        skip_header: Ignore a first line starting with ``AnonID``.
+        remove_stopwords: Drop stopwords during tokenization.
+        min_keywords: Skip queries with fewer tokens than this.
+
+    Returns:
+        A :class:`QueryLog` in file order.
+
+    Raises:
+        TraceFormatError: On unreadable files or rows without at least
+            two columns.
+    """
+    if min_keywords < 1:
+        raise ValueError("min_keywords must be at least 1")
+    log = QueryLog()
+    try:
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            for line_no, line in enumerate(fh, 1):
+                line = line.rstrip("\n")
+                if not line:
+                    continue
+                if line_no == 1 and skip_header and line.startswith("AnonID"):
+                    continue
+                columns = line.split("\t")
+                if len(columns) < 2:
+                    raise TraceFormatError(
+                        f"{path}:{line_no}: expected tab-separated columns"
+                    )
+                keywords = tokenize(columns[1], remove_stopwords=remove_stopwords)
+                if len(keywords) < min_keywords:
+                    continue
+                log.append(Query(tuple(keywords)))
+                if max_queries is not None and len(log) >= max_queries:
+                    break
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read query log {path}: {exc}") from exc
+    return log
+
+
+def split_log_by_fraction(
+    log: QueryLog, fraction: float = 0.5
+) -> tuple[QueryLog, QueryLog]:
+    """Split a time-ordered log into two contiguous periods.
+
+    Args:
+        log: The full log, in time order.
+        fraction: Share of queries in the first period (0 < f < 1).
+
+    Returns:
+        ``(period1, period2)`` — the inputs to the Figure 2B stability
+        analysis on real data.
+    """
+    if not 0 < fraction < 1:
+        raise ValueError("fraction must be strictly between 0 and 1")
+    cut = int(len(log) * fraction)
+    first, second = QueryLog(), QueryLog()
+    for i, query in enumerate(log):
+        (first if i < cut else second).append(query)
+    return first, second

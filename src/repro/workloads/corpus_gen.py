@@ -1,0 +1,66 @@
+"""Synthetic web-corpus generation.
+
+Stands in for the paper's 3.7M crawled ODP pages.  Only two corpus
+properties reach the placement algorithms — the per-keyword document
+frequency distribution (index sizes) and the document membership needed
+to execute queries — and both are reproduced here: word popularity is
+Zipf-distributed (heavy-tailed index sizes, as in Figure 5) and each
+page holds roughly ``words_per_doc`` distinct words (the paper reports
+~114 after stopword removal).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.search.documents import Corpus, Document
+from repro.workloads.zipf import ZipfSampler
+
+
+def word_name(index: int) -> str:
+    """Canonical synthetic word for a popularity rank (0 = most popular)."""
+    return f"w{index:06d}"
+
+
+def generate_corpus(
+    num_documents: int,
+    vocabulary_size: int,
+    words_per_doc: float = 114.0,
+    zipf_exponent: float = 1.0,
+    seed: int | None = 0,
+) -> Corpus:
+    """Generate a corpus of documents with Zipf word popularity.
+
+    Args:
+        num_documents: Number of pages to generate.
+        vocabulary_size: Vocabulary size (words named ``w000000`` ...).
+        words_per_doc: Mean distinct words per page (Poisson around
+            this mean, truncated to ``[1, vocabulary_size]``).
+        zipf_exponent: Word-popularity skew.
+        seed: RNG seed for reproducibility.
+
+    Returns:
+        A :class:`~repro.search.documents.Corpus` whose document ids
+        look like URLs (``http://synth.example/page/123``).
+    """
+    if num_documents < 0:
+        raise ValueError("num_documents must be nonnegative")
+    rng = np.random.default_rng(seed)
+    sampler = ZipfSampler(vocabulary_size, zipf_exponent, rng)
+    corpus = Corpus()
+    lengths = rng.poisson(words_per_doc, size=num_documents)
+    for doc_index in range(num_documents):
+        target = int(np.clip(lengths[doc_index], 1, vocabulary_size))
+        # Oversample then dedupe: cheap and keeps the Zipf shape.
+        draw = sampler.sample(max(2 * target, 8))
+        words = {word_name(int(w)) for w in draw}
+        while len(words) < target:
+            words |= {word_name(int(w)) for w in sampler.sample(target)}
+        if len(words) > target:
+            # Sorted before trimming: set order is not stable across
+            # processes (string hash randomization).
+            words = set(sorted(words)[:target])
+        corpus.add(
+            Document(f"http://synth.example/page/{doc_index}", frozenset(words))
+        )
+    return corpus

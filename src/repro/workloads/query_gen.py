@@ -1,0 +1,221 @@
+"""Topic-model query-log generation.
+
+Stands in for the Ask.com query traces.  The generator is built to
+reproduce the two trace properties the paper's approach depends on
+(Section 1, Figure 2):
+
+* **Skewness** — keyword-pair correlations are highly skewed: queries
+  draw from *topics* (small keyword groups) whose popularity is
+  Zipf-distributed, so a few pairs co-occur orders of magnitude more
+  often than the tail.
+* **Stability** — a second period generated from a *drifted* copy of
+  the model keeps almost all pair correlations near their period-one
+  values, with a small configurable fraction changing by more than 2x.
+
+Query lengths follow a distribution with mean ~2.54 keywords, matching
+the paper's trace statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.search.query import Query, QueryLog
+from repro.workloads.zipf import ZipfSampler, zipf_probabilities
+
+# P(length = 1..6); mean = 2.56, close to the paper's 2.54.
+LENGTH_DISTRIBUTION = np.array([0.25, 0.30, 0.22, 0.13, 0.07, 0.03])
+
+
+@dataclass(frozen=True)
+class Topic:
+    """A group of keywords that tend to be queried together."""
+
+    keywords: tuple[str, ...]
+    popularity: float
+
+
+class QueryWorkloadModel:
+    """A generative model of multi-keyword search queries.
+
+    Args:
+        vocabulary: All keywords queries may use (e.g. the corpus
+            vocabulary, so generated queries hit real indices).
+        num_topics: Number of correlated keyword groups.
+        topic_size_range: Inclusive (min, max) keywords per topic.
+        topic_exponent: Zipf skew of topic popularity (drives pair-
+            correlation skew).
+        topic_query_fraction: Probability a query is topical; the rest
+            are independent Zipf draws from the vocabulary (noise).
+        word_exponent: Zipf skew for noise/padding word draws.  Kept
+            mild by default: the pair-correlation skew that drives the
+            paper's results comes from topic popularity, and strongly
+            skewed noise words would bridge every topic into one giant
+            correlated component (real query workloads are cluster-
+            structured).
+        membership_exponent: Zipf skew used when drawing topic member
+            keywords; milder than ``word_exponent`` so hub words do not
+            join every topic.
+        max_topics_per_word: Cap on how many topics may share one
+            keyword.  Real query workloads are cluster-structured
+            ("car dealer", "software download"); without this cap the
+            most popular words would chain every topic into one giant
+            correlated component.
+        seed: Seed controlling topic construction.
+    """
+
+    def __init__(
+        self,
+        vocabulary: list[str],
+        num_topics: int = 200,
+        topic_size_range: tuple[int, int] = (2, 4),
+        topic_exponent: float = 1.1,
+        topic_query_fraction: float = 0.7,
+        word_exponent: float = 0.35,
+        membership_exponent: float = 0.4,
+        max_topics_per_word: int = 2,
+        seed: int | None = 0,
+    ):
+        if not vocabulary:
+            raise ValueError("vocabulary must be non-empty")
+        lo, hi = topic_size_range
+        if lo < 2 or hi < lo:
+            raise ValueError("topic_size_range must satisfy 2 <= min <= max")
+        self.vocabulary = sorted(vocabulary)
+        self.topic_query_fraction = topic_query_fraction
+        self.word_exponent = word_exponent
+        self.membership_exponent = membership_exponent
+        self.max_topics_per_word = max_topics_per_word
+
+        if max_topics_per_word < 1:
+            raise ValueError("max_topics_per_word must be at least 1")
+        rng = np.random.default_rng(seed)
+        member_sampler = ZipfSampler(len(self.vocabulary), membership_exponent, rng)
+        popularity = zipf_probabilities(num_topics, topic_exponent)
+        usage = np.zeros(len(self.vocabulary), dtype=np.int64)
+        topics: list[Topic] = []
+        for t in range(num_topics):
+            size = int(rng.integers(lo, hi + 1))
+            size = min(size, len(self.vocabulary))
+            members = self._draw_members(member_sampler, usage, size, max_topics_per_word)
+            usage[members] += 1
+            topics.append(
+                Topic(
+                    tuple(self.vocabulary[i] for i in sorted(members)),
+                    float(popularity[t]),
+                )
+            )
+        self.topics = tuple(topics)
+
+    @staticmethod
+    def _draw_members(
+        sampler: ZipfSampler,
+        usage: np.ndarray,
+        size: int,
+        max_topics_per_word: int,
+    ) -> np.ndarray:
+        """Draw topic members, respecting the per-word topic cap."""
+        chosen: dict[int, None] = {}
+        for _ in range(50):
+            for idx in np.atleast_1d(sampler.sample(4 * size)):
+                idx = int(idx)
+                if usage[idx] < max_topics_per_word:
+                    chosen.setdefault(idx, None)
+                    if len(chosen) == size:
+                        return np.fromiter(chosen, dtype=np.int64, count=size)
+        # Fallback: least-used words (guaranteed progress).
+        fallback = np.argsort(usage, kind="stable")[: size - len(chosen)]
+        for idx in fallback:
+            chosen.setdefault(int(idx), None)
+        return np.fromiter(chosen, dtype=np.int64, count=len(chosen))
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def _topic_probabilities(self) -> np.ndarray:
+        weights = np.array([t.popularity for t in self.topics])
+        return weights / weights.sum()
+
+    def generate(
+        self, num_queries: int, rng: np.random.Generator | int | None = None
+    ) -> QueryLog:
+        """Generate a query log of ``num_queries`` queries."""
+        rng = np.random.default_rng(rng)
+        word_sampler = ZipfSampler(len(self.vocabulary), self.word_exponent, rng)
+        topic_probs = self._topic_probabilities()
+        lengths = 1 + rng.choice(
+            len(LENGTH_DISTRIBUTION), size=num_queries, p=LENGTH_DISTRIBUTION
+        )
+        topical = rng.random(num_queries) < self.topic_query_fraction
+        topic_choice = rng.choice(len(self.topics), size=num_queries, p=topic_probs)
+
+        log = QueryLog()
+        for q in range(num_queries):
+            length = int(lengths[q])
+            words: list[str] = []
+            if topical[q]:
+                topic = self.topics[topic_choice[q]]
+                take = min(length, len(topic.keywords))
+                picked = rng.choice(len(topic.keywords), size=take, replace=False)
+                words.extend(topic.keywords[i] for i in picked)
+            while len(words) < length:
+                candidate = self.vocabulary[int(word_sampler.sample())]
+                if candidate not in words:
+                    words.append(candidate)
+            log.append(Query(tuple(words)))
+        return log
+
+    # ------------------------------------------------------------------
+    # Temporal drift
+    # ------------------------------------------------------------------
+    def drifted(
+        self, change_fraction: float = 0.02, seed: int | None = 1
+    ) -> "QueryWorkloadModel":
+        """A period-two model: most topics keep their popularity.
+
+        A ``change_fraction`` of topics get their popularity rescaled
+        by a factor outside [0.5, 2] — these are the pairs Figure 2B
+        counts as unstable (the paper measured 1.2%).
+
+        Returns:
+            A structurally-shared copy with drifted topic popularity.
+        """
+        if not 0 <= change_fraction <= 1:
+            raise ValueError("change_fraction must be in [0, 1]")
+        rng = np.random.default_rng(seed)
+        clone = object.__new__(QueryWorkloadModel)
+        clone.vocabulary = self.vocabulary
+        clone.topic_query_fraction = self.topic_query_fraction
+        clone.word_exponent = self.word_exponent
+        clone.membership_exponent = getattr(self, "membership_exponent", 0.4)
+        clone.max_topics_per_word = getattr(self, "max_topics_per_word", 2)
+
+        changed = rng.random(len(self.topics)) < change_fraction
+        topics: list[Topic] = []
+        for topic, flip in zip(self.topics, changed):
+            if flip:
+                # Rescale well outside [0.5, 2] so the change registers.
+                factor = float(rng.choice([0.2, 0.3, 3.0, 5.0]))
+                topics.append(Topic(topic.keywords, topic.popularity * factor))
+            else:
+                # Mild jitter well inside [0.5, 2].
+                factor = float(rng.uniform(0.9, 1.1))
+                topics.append(Topic(topic.keywords, topic.popularity * factor))
+        clone.topics = tuple(topics)
+        return clone
+
+
+def generate_query_log(
+    vocabulary: list[str],
+    num_queries: int,
+    num_topics: int = 200,
+    seed: int | None = 0,
+    **model_kwargs,
+) -> QueryLog:
+    """One-call convenience: build a model and generate a log."""
+    model = QueryWorkloadModel(
+        vocabulary, num_topics=num_topics, seed=seed, **model_kwargs
+    )
+    return model.generate(num_queries, rng=seed)

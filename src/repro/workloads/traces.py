@@ -1,0 +1,81 @@
+"""Generic multi-object operation-trace I/O.
+
+Operations are stored one per line, object ids tab-separated.  Used by
+the cluster examples and anywhere the workload is not a search-query
+log (which has its own format in :mod:`repro.search.query`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.exceptions import TraceFormatError
+
+Operation = tuple[str, ...]
+
+
+def save_operations(path: str | Path, operations: Iterable[Sequence[str]]) -> int:
+    """Write operations to ``path``; returns the number written.
+
+    Raises:
+        TraceFormatError: If an object id contains a tab or newline.
+    """
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for operation in operations:
+            ids = [str(obj) for obj in operation]
+            for obj in ids:
+                if "\t" in obj or "\n" in obj:
+                    raise TraceFormatError(
+                        f"object id {obj!r} contains a separator character"
+                    )
+            fh.write("\t".join(ids) + "\n")
+            count += 1
+    return count
+
+
+def load_operations(path: str | Path) -> list[Operation]:
+    """Read operations written by :func:`save_operations`.
+
+    Raises:
+        TraceFormatError: On unreadable files or empty records.
+    """
+    operations: list[Operation] = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line_no, line in enumerate(fh, 1):
+                line = line.rstrip("\n")
+                if not line:
+                    continue
+                ids = tuple(part for part in line.split("\t") if part)
+                if not ids:
+                    raise TraceFormatError(f"{path}:{line_no}: empty operation")
+                operations.append(ids)
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read trace {path}: {exc}") from exc
+    return operations
+
+
+def split_periods(
+    operations: Sequence[Operation], num_periods: int = 2
+) -> list[list[Operation]]:
+    """Split a trace into contiguous equal periods (e.g. Jan/Feb).
+
+    Args:
+        operations: The full trace, in time order.
+        num_periods: Number of periods (``>= 1``).
+
+    Returns:
+        ``num_periods`` contiguous slices covering the trace; the last
+        period absorbs any remainder.
+    """
+    if num_periods < 1:
+        raise ValueError("num_periods must be at least 1")
+    per = len(operations) // num_periods
+    periods = []
+    for p in range(num_periods):
+        start = p * per
+        end = (p + 1) * per if p < num_periods - 1 else len(operations)
+        periods.append(list(operations[start:end]))
+    return periods

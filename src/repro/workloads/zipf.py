@@ -1,0 +1,85 @@
+"""Finite-support Zipf sampling.
+
+Web-object popularity is famously Zipf-like (Section 3.1 of the paper
+leans on exactly this skew to justify partial optimization), so both
+the corpus and query generators draw from this sampler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zipf_probabilities(num_items: int, exponent: float = 1.0) -> np.ndarray:
+    """Normalized Zipf probabilities ``p_i ∝ 1 / (i+1)^exponent``.
+
+    Args:
+        num_items: Support size (``>= 1``).
+        exponent: Skew parameter; 0 gives uniform, larger is more
+            skewed.  Must be nonnegative.
+    """
+    if num_items < 1:
+        raise ValueError("num_items must be at least 1")
+    if exponent < 0:
+        raise ValueError("exponent must be nonnegative")
+    ranks = np.arange(1, num_items + 1, dtype=float)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+class ZipfSampler:
+    """Draw item indices ``0..n-1`` with Zipf-distributed popularity.
+
+    Example:
+        >>> sampler = ZipfSampler(100, exponent=1.0, rng=0)
+        >>> draws = sampler.sample(1000)
+        >>> (draws == 0).sum() > (draws == 99).sum()
+        True
+    """
+
+    def __init__(
+        self,
+        num_items: int,
+        exponent: float = 1.0,
+        rng: np.random.Generator | int | None = None,
+    ):
+        self.num_items = num_items
+        self.exponent = exponent
+        self.probabilities = zipf_probabilities(num_items, exponent)
+        self._cdf = np.cumsum(self.probabilities)
+        self._rng = np.random.default_rng(rng)
+
+    def sample(self, size: int | None = None) -> np.ndarray | int:
+        """Draw ``size`` indices (or a single int when ``size`` is None)."""
+        uniform = self._rng.random(size)
+        indices = np.searchsorted(self._cdf, uniform, side="right")
+        indices = np.minimum(indices, self.num_items - 1)
+        return int(indices) if size is None else indices
+
+    def sample_distinct(self, count: int, max_attempts: int = 100) -> np.ndarray:
+        """Draw ``count`` *distinct* indices, popularity-weighted.
+
+        Args:
+            count: Number of distinct indices (``<= num_items``).
+            max_attempts: Oversampling rounds before falling back to an
+                exact weighted draw without replacement.
+        """
+        if count > self.num_items:
+            raise ValueError(
+                f"cannot draw {count} distinct items from {self.num_items}"
+            )
+        chosen: dict[int, None] = {}
+        for _ in range(max_attempts):
+            needed = count - len(chosen)
+            if needed <= 0:
+                break
+            for idx in np.atleast_1d(self.sample(4 * needed)):
+                chosen.setdefault(int(idx), None)
+                if len(chosen) == count:
+                    break
+        if len(chosen) < count:
+            exact = self._rng.choice(
+                self.num_items, size=count, replace=False, p=self.probabilities
+            )
+            return np.asarray(exact, dtype=np.int64)
+        return np.fromiter(chosen, dtype=np.int64, count=count)

@@ -1,0 +1,170 @@
+"""Tests for the analysis subpackage (skewness, stability, dominance, reporting)."""
+
+import pytest
+
+from repro.analysis.dominance import dominance_curves
+from repro.analysis.reporting import format_series, format_table, normalize_to
+from repro.analysis.skewness import pair_probability_curve, skew_ratio
+from repro.analysis.stability import stability_report
+from repro.core.problem import PlacementProblem
+
+
+class TestSkewness:
+    CORR = {("a", "b"): 0.5, ("c", "d"): 0.1, ("e", "f"): 0.01}
+
+    def test_curve_sorted_descending(self):
+        pairs, probs = pair_probability_curve(self.CORR)
+        assert probs == [0.5, 0.1, 0.01]
+        assert pairs[0] == ("a", "b")
+
+    def test_top_k(self):
+        _, probs = pair_probability_curve(self.CORR, top_k=2)
+        assert probs == [0.5, 0.1]
+
+    def test_skew_ratio(self):
+        _, probs = pair_probability_curve(self.CORR)
+        assert skew_ratio(probs) == pytest.approx(50.0)
+
+    def test_skew_ratio_edge_cases(self):
+        import math
+
+        assert math.isnan(skew_ratio([]))
+        assert skew_ratio([0.5, 0.0]) == float("inf")
+        assert skew_ratio([0.3]) == 1.0
+
+    def test_ties_deterministic(self):
+        corr = {("x", "y"): 0.5, ("a", "b"): 0.5}
+        pairs1, _ = pair_probability_curve(corr)
+        pairs2, _ = pair_probability_curve(dict(reversed(list(corr.items()))))
+        assert pairs1 == pairs2
+
+
+class TestStability:
+    def test_stable_periods(self):
+        ref = {("a", "b"): 0.4, ("c", "d"): 0.2}
+        cmp_ = {("a", "b"): 0.41, ("c", "d"): 0.19}
+        report = stability_report(ref, cmp_, top_k=10)
+        assert report.unstable_fraction == 0.0
+        assert report.stable_fraction == 1.0
+
+    def test_doubling_counts_unstable(self):
+        ref = {("a", "b"): 0.1, ("c", "d"): 0.1}
+        cmp_ = {("a", "b"): 0.25, ("c", "d"): 0.1}
+        report = stability_report(ref, cmp_)
+        assert report.unstable_fraction == pytest.approx(0.5)
+
+    def test_vanished_pair_is_unstable(self):
+        ref = {("a", "b"): 0.1}
+        report = stability_report(ref, {})
+        assert report.unstable_fraction == 1.0
+        assert report.comparison == (0.0,)
+
+    def test_changes_ratios(self):
+        ref = {("a", "b"): 0.2}
+        cmp_ = {("a", "b"): 0.1}
+        report = stability_report(ref, cmp_)
+        assert report.changes() == [pytest.approx(0.5)]
+
+    def test_top_k_limits_tracking(self):
+        ref = {(f"a{i}", f"b{i}"): 0.1 / (i + 1) for i in range(20)}
+        report = stability_report(ref, ref, top_k=5)
+        assert len(report.pairs) == 5
+
+    def test_custom_change_factor(self):
+        ref = {("a", "b"): 0.1}
+        cmp_ = {("a", "b"): 0.14}
+        strict = stability_report(ref, cmp_, change_factor=1.2)
+        loose = stability_report(ref, cmp_, change_factor=2.0)
+        assert strict.unstable_fraction == 1.0
+        assert loose.unstable_fraction == 0.0
+
+    def test_invalid_change_factor(self):
+        with pytest.raises(ValueError):
+            stability_report({}, {}, change_factor=1.0)
+
+    def test_empty_reference(self):
+        report = stability_report({}, {})
+        assert report.unstable_fraction == 0.0
+
+
+class TestDominance:
+    @pytest.fixture
+    def problem(self):
+        # Heavy pair (a,b) dominates cost; sizes skewed toward a.
+        return PlacementProblem.build(
+            objects={"a": 50.0, "b": 30.0, "c": 10.0, "d": 5.0, "e": 5.0},
+            nodes=2,
+            correlations={("a", "b"): 0.9, ("c", "d"): 0.1},
+        )
+
+    def test_fractions_monotone(self, problem):
+        curves = dominance_curves(problem, checkpoints=[1, 2, 3, 4, 5])
+        assert list(curves.size_fraction) == sorted(curves.size_fraction)
+        assert list(curves.cost_fraction) == sorted(curves.cost_fraction)
+
+    def test_full_scope_covers_everything(self, problem):
+        curves = dominance_curves(problem, checkpoints=[5])
+        assert curves.size_fraction[-1] == pytest.approx(1.0)
+        assert curves.cost_fraction[-1] == pytest.approx(1.0)
+
+    def test_pair_counts_when_both_endpoints_in_scope(self, problem):
+        curves = dominance_curves(problem, checkpoints=[1, 2])
+        # Scope 1 = {a}: pair (a,b) not yet covered.
+        assert curves.cost_fraction[0] == 0.0
+        # Scope 2 = {a,b}: (a,b) covered -> 27/(27+1) of total weight.
+        total = 0.9 * 30 + 0.1 * 5
+        assert curves.cost_fraction[1] == pytest.approx(0.9 * 30 / total)
+
+    def test_top_keywords_dominate(self, problem):
+        curves = dominance_curves(problem, checkpoints=[2, 5])
+        size2, cost2 = curves.coverage_at(2)
+        assert size2 == pytest.approx(80 / 100)
+        assert cost2 > 0.9
+
+    def test_default_checkpoints_end_at_t(self, problem):
+        curves = dominance_curves(problem)
+        assert curves.checkpoints[-1] == problem.num_objects
+
+    def test_unknown_scope_raises(self, problem):
+        curves = dominance_curves(problem, checkpoints=[2])
+        with pytest.raises(KeyError):
+            curves.coverage_at(3)
+
+    def test_no_valid_checkpoints_rejected(self, problem):
+        with pytest.raises(ValueError):
+            dominance_curves(problem, checkpoints=[99])
+
+    def test_problem_without_pairs(self):
+        p = PlacementProblem.build({"a": 1.0, "b": 3.0}, 2, {})
+        curves = dominance_curves(p, checkpoints=[1, 2])
+        assert curves.cost_fraction == (0.0, 0.0)
+        assert curves.ranking[0] == "b"  # size-descending fallback
+
+
+class TestReporting:
+    def test_normalize(self):
+        assert normalize_to([2.0, 4.0], 4.0) == [0.5, 1.0]
+
+    def test_normalize_zero_baseline(self):
+        with pytest.raises(ValueError):
+            normalize_to([1.0], 0.0)
+
+    def test_table_alignment(self):
+        table = format_table(["name", "value"], [["hash", 1.0], ["lprr", 0.25]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert "0.2500" in table
+
+    def test_table_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a"], [["x", "y"]])
+
+    def test_series_rendering(self):
+        text = format_series("lprr", [10, 20], [0.5, 0.25])
+        assert text.startswith("lprr:")
+        assert "10: 0.5000" in text
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1], [1.0, 2.0])

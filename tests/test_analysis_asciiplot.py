@@ -1,0 +1,87 @@
+"""Tests for ASCII charts (repro.analysis.asciiplot)."""
+
+import pytest
+
+from repro.analysis.asciiplot import ascii_chart, sparkline
+
+
+class TestAsciiChart:
+    def test_basic_structure(self):
+        chart = ascii_chart(
+            {"line": ([0, 1, 2], [0.0, 0.5, 1.0])}, width=20, height=6
+        )
+        lines = chart.splitlines()
+        assert len(lines) == 6 + 3  # grid + axis + x labels + legend
+        assert "o line" in lines[-1]
+
+    def test_title_prepended(self):
+        chart = ascii_chart({"a": ([0, 1], [0, 1])}, title="Figure X")
+        assert chart.splitlines()[0] == "Figure X"
+
+    def test_markers_distinct_per_series(self):
+        chart = ascii_chart(
+            {"first": ([0, 1], [0, 0]), "second": ([0, 1], [1, 1])},
+            width=12,
+            height=5,
+        )
+        assert "o first" in chart
+        assert "x second" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_extremes_on_grid_edges(self):
+        chart = ascii_chart({"a": ([0, 10], [0, 1])}, width=20, height=5)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        # Max y lands in the top row, min y in the bottom row.
+        assert "o" in rows[0]
+        assert "o" in rows[-1]
+
+    def test_log_scale_labels(self):
+        chart = ascii_chart(
+            {"a": ([1, 2, 3], [1e-4, 1e-3, 1e-2])},
+            log_y=True,
+            width=15,
+            height=5,
+        )
+        assert "[log y]" in chart
+        assert "0.01" in chart  # top label back-transformed
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="log scale"):
+            ascii_chart({"a": ([0, 1], [0.0, 1.0])}, log_y=True)
+
+    def test_constant_series_centered(self):
+        # Degenerate span must not divide by zero.
+        chart = ascii_chart({"a": ([0, 1, 2], [5.0, 5.0, 5.0])}, width=12, height=4)
+        assert "o" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="width"):
+            ascii_chart({"a": ([0], [0])}, width=5)
+        with pytest.raises(ValueError, match="no series"):
+            ascii_chart({})
+        with pytest.raises(ValueError, match="lengths differ"):
+            ascii_chart({"a": ([0, 1], [0])})
+        with pytest.raises(ValueError, match="empty"):
+            ascii_chart({"a": ([], [])})
+
+    def test_deterministic(self):
+        data = {"a": ([0, 1, 2, 3], [3.0, 1.0, 2.0, 0.0])}
+        assert ascii_chart(data) == ascii_chart(data)
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3, 4])
+        assert len(line) == 4
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_downsampling(self):
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10

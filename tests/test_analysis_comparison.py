@@ -1,0 +1,75 @@
+"""Tests for the strategy comparison harness (repro.analysis.comparison)."""
+
+import pytest
+
+from repro.analysis.comparison import ComparisonResult, compare_strategies
+from repro.core.problem import PlacementProblem
+
+
+@pytest.fixture
+def problem():
+    # "e" hashes to node 0 while a-d hash to node 1, so the hash
+    # baseline splits (a, e) and pays a nonzero cost.
+    return PlacementProblem.build(
+        objects={"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0, "e": 1.0},
+        nodes={0: 4.0, 1: 4.0},
+        correlations={("a", "e"): 0.8, ("c", "d"): 0.6},
+    )
+
+
+class TestCompareStrategies:
+    def test_default_runs_paper_trio(self, problem):
+        result = compare_strategies(problem)
+        assert [o.name for o in result.outcomes] == ["hash", "greedy", "lprr"]
+        assert result.baseline == "hash"
+
+    def test_baseline_normalized_to_one(self, problem):
+        result = compare_strategies(problem)
+        assert result.outcomes[0].normalized == pytest.approx(1.0)
+
+    def test_aware_strategies_beat_hash(self, problem):
+        result = compare_strategies(problem)
+        hash_cost = result.outcome("hash").cost
+        assert result.outcome("lprr").cost <= hash_cost
+        assert result.best().cost <= hash_cost
+
+    def test_registry_names_accepted(self, problem):
+        result = compare_strategies(problem, ["hash", "local_search"])
+        assert {o.name for o in result.outcomes} == {"hash", "local_search"}
+
+    def test_custom_callables(self, problem):
+        from repro.core.hashing import random_hash_placement
+        from repro.core.strategies import round_robin_placement
+
+        result = compare_strategies(
+            problem,
+            {"rr": round_robin_placement, "hash": random_hash_placement},
+        )
+        assert result.baseline == "rr"
+
+    def test_custom_cost_function(self, problem):
+        # Score by load imbalance instead of communication.
+        result = compare_strategies(
+            problem,
+            ["hash", "greedy"],
+            cost=lambda p: p.load_imbalance(),
+        )
+        assert all(o.cost >= 1.0 or o.cost == 0.0 for o in result.outcomes)
+
+    def test_zero_baseline_normalization(self, problem):
+        result = compare_strategies(problem, ["greedy"], cost=lambda p: 0.0)
+        assert result.outcomes[0].normalized == 0.0
+
+    def test_render_table(self, problem):
+        text = compare_strategies(problem).render()
+        assert "vs hash" in text
+        assert "lprr" in text
+
+    def test_unknown_outcome_lookup(self, problem):
+        result = compare_strategies(problem, ["hash"])
+        with pytest.raises(KeyError):
+            result.outcome("ghost")
+
+    def test_empty_strategies_rejected(self, problem):
+        with pytest.raises(ValueError):
+            compare_strategies(problem, {})

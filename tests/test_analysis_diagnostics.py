@@ -1,0 +1,117 @@
+"""Tests for placement diagnostics (repro.analysis.diagnostics)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.diagnostics import best_moves, node_cut_weights, regret_pairs
+from repro.core.placement import Placement
+from repro.core.problem import PlacementProblem
+
+
+@pytest.fixture
+def problem():
+    return PlacementProblem.build(
+        objects={"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0},
+        nodes={0: 3.0, 1: 3.0},
+        correlations={("a", "b"): 0.9, ("c", "d"): 0.4, ("a", "c"): 0.1},
+    )
+
+
+@pytest.fixture
+def bad_placement(problem):
+    # Splits (a,b) [0.9] and (a,c) [0.1]; (c,d) co-located on node 1.
+    return Placement.from_mapping(problem, {"a": 0, "b": 1, "c": 1, "d": 1})
+
+
+class TestRegretPairs:
+    def test_sorted_by_weight(self, bad_placement):
+        regrets = regret_pairs(bad_placement)
+        weights = [r.weight for r in regrets]
+        assert weights == sorted(weights, reverse=True)
+        assert {regrets[0].a, regrets[0].b} == {"a", "b"}
+
+    def test_only_split_pairs_listed(self, bad_placement):
+        regrets = regret_pairs(bad_placement)
+        assert all({r.a, r.b} != {"c", "d"} for r in regrets)
+        assert len(regrets) == 2
+
+    def test_top_k_truncation(self, bad_placement):
+        assert len(regret_pairs(bad_placement, top_k=1)) == 1
+
+    def test_nodes_reported(self, bad_placement):
+        top = regret_pairs(bad_placement)[0]
+        assert {top.node_a, top.node_b} == {0, 1}
+
+    def test_no_pairs(self):
+        p = PlacementProblem.build({"a": 1.0}, 2, {})
+        assert regret_pairs(Placement(p, np.array([0]))) == []
+
+    def test_zero_cost_placement(self, problem):
+        placement = Placement.from_mapping(problem, {"a": 0, "b": 0, "c": 0, "d": 1})
+        # (c,d) split, weight 0.4; (a,b) and (a,c) together.
+        regrets = regret_pairs(placement)
+        assert len(regrets) == 1
+        assert regrets[0].weight == pytest.approx(0.4)
+
+
+class TestBestMoves:
+    def test_best_move_heals_heaviest_pair(self, bad_placement):
+        # Node 1 is full, so capacity-respecting advice moves b to a.
+        moves = best_moves(bad_placement)
+        assert moves[0].obj == "b"
+        assert moves[0].destination == 0
+        assert moves[0].gain == pytest.approx(0.9)
+        # Ignoring capacity, moving a to node 1 heals both split pairs.
+        unconstrained = best_moves(bad_placement, respect_capacity=False)
+        assert unconstrained[0].obj == "a"
+        assert unconstrained[0].gain == pytest.approx(1.0)
+        assert not unconstrained[0].fits_capacity
+
+    def test_gain_accounts_for_broken_colocations(self, problem):
+        placement = Placement.from_mapping(problem, {"a": 0, "b": 0, "c": 1, "d": 1})
+        moves = best_moves(placement)
+        # Moving c to node 0 heals (a,c)=0.1 but breaks (c,d)=0.4: no
+        # positive move exists.
+        assert moves == []
+
+    def test_capacity_respected(self, problem):
+        # Node 1 is full (3 objects of size 1, capacity 3).
+        placement = Placement.from_mapping(problem, {"a": 0, "b": 1, "c": 1, "d": 1})
+        moves = best_moves(placement, respect_capacity=True)
+        assert all(m.destination != 1 or m.fits_capacity for m in moves)
+        # The profitable move of a -> node 1 is blocked by capacity.
+        assert all(m.obj != "a" or m.destination != 1 for m in moves)
+
+    def test_capacity_flag_when_unrespected(self, problem):
+        placement = Placement.from_mapping(problem, {"a": 0, "b": 1, "c": 1, "d": 1})
+        moves = best_moves(placement, respect_capacity=False)
+        assert any(m.obj == "a" and not m.fits_capacity for m in moves)
+
+    def test_gains_descending(self, bad_placement):
+        moves = best_moves(bad_placement, respect_capacity=False)
+        gains = [m.gain for m in moves]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_applying_best_move_reduces_cost_by_gain(self, bad_placement):
+        problem = bad_placement.problem
+        move = best_moves(bad_placement, respect_capacity=False)[0]
+        assignment = bad_placement.assignment.copy()
+        assignment[problem.object_index(move.obj)] = problem.node_index(
+            move.destination
+        )
+        after = Placement(problem, assignment)
+        assert after.communication_cost() == pytest.approx(
+            bad_placement.communication_cost() - move.gain
+        )
+
+
+class TestNodeCutWeights:
+    def test_split_weight_charged_to_both_ends(self, bad_placement):
+        cuts = node_cut_weights(bad_placement)
+        assert cuts[0] == pytest.approx(1.0)  # a's side: 0.9 + 0.1
+        assert cuts[1] == pytest.approx(1.0)  # b and c's side
+
+    def test_zero_for_local_placement(self, problem):
+        placement = Placement(problem, np.zeros(4, dtype=np.int64))
+        cuts = node_cut_weights(placement)
+        assert all(v == 0.0 for v in cuts.values())

@@ -1,0 +1,89 @@
+"""Tests for traffic/load balance analysis (repro.analysis.traffic)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.traffic import balance_report, link_utilization, sender_balance
+
+
+class TestBalanceReport:
+    def test_perfectly_even(self):
+        report = balance_report([5.0, 5.0, 5.0, 5.0])
+        assert report.max_over_mean == pytest.approx(1.0)
+        assert report.coefficient_of_variation == pytest.approx(0.0)
+        assert report.normalized_entropy == pytest.approx(1.0)
+        assert report.is_balanced
+
+    def test_hotspot_detected(self):
+        report = balance_report([10.0, 1.0, 1.0, 1.0])
+        assert report.hotspots == (0,)
+        assert not report.is_balanced
+        assert report.max_over_mean > 2.0
+
+    def test_two_times_mean_boundary(self):
+        # Exactly 2x the mean is not a hotspot (strict inequality).
+        report = balance_report([2.0, 1.0, 0.0])
+        assert report.values[0] == 2.0
+        assert report.hotspots == ()
+
+    def test_all_zero(self):
+        report = balance_report([0.0, 0.0])
+        assert report.max_over_mean == 0.0
+        assert report.is_balanced
+
+    def test_single_node(self):
+        report = balance_report([7.0])
+        assert report.max_over_mean == pytest.approx(1.0)
+
+    def test_entropy_decreases_with_concentration(self):
+        even = balance_report([1.0, 1.0, 1.0, 1.0])
+        skewed = balance_report([100.0, 1.0, 1.0, 1.0])
+        assert skewed.normalized_entropy < even.normalized_entropy
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            balance_report([])
+        with pytest.raises(ValueError, match="nonnegative"):
+            balance_report([-1.0])
+
+
+class TestSenderBalance:
+    def test_silent_nodes_count_as_zero(self):
+        report = sender_balance({0: 100}, node_ids=[0, 1, 2, 3])
+        assert len(report.values) == 4
+        assert report.hotspots == (0,)
+
+    def test_even_senders(self):
+        report = sender_balance({0: 10, 1: 10}, node_ids=[0, 1])
+        assert report.is_balanced
+
+
+class TestLinkUtilization:
+    def test_ignores_diagonal(self):
+        matrix = np.array([[999.0, 1.0], [1.0, 999.0]])
+        report = link_utilization(matrix)
+        assert report.values == (1.0, 1.0)
+
+    def test_detects_hot_link(self):
+        matrix = np.zeros((3, 3))
+        matrix[0, 1] = 60.0
+        matrix[1, 2] = 1.0
+        report = link_utilization(matrix)
+        assert not report.is_balanced
+
+    def test_single_node_matrix(self):
+        report = link_utilization(np.zeros((1, 1)))
+        assert report.is_balanced
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            link_utilization(np.zeros((2, 3)))
+
+    def test_integration_with_network_model(self):
+        from repro.cluster.network import NetworkModel
+
+        net = NetworkModel([0, 1, 2])
+        net.transfer(0, 1, 100)
+        net.transfer(1, 2, 100)
+        report = link_utilization(net.traffic_matrix())
+        assert sum(report.values) == 200.0

@@ -1,0 +1,188 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def query_log_file(tmp_path):
+    path = tmp_path / "queries.txt"
+    main(
+        [
+            "gen-queries",
+            str(path),
+            "--count",
+            "300",
+            "--vocabulary",
+            "150",
+            "--topics",
+            "20",
+            "--seed",
+            "1",
+        ]
+    )
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_strategy_choices_enforced(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["place", "log", "out", "--strategy", "magic"]
+            )
+
+
+class TestGenQueries:
+    def test_writes_log(self, query_log_file, capsys):
+        assert query_log_file.exists()
+        lines = query_log_file.read_text().strip().splitlines()
+        assert len(lines) == 300
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.txt", tmp_path / "b.txt"
+        args = ["--count", "50", "--vocabulary", "100", "--seed", "3"]
+        main(["gen-queries", str(a), *args])
+        main(["gen-queries", str(b), *args])
+        assert a.read_text() == b.read_text()
+
+
+class TestPlaceAndEvaluate:
+    COMMON = ["--documents", "150", "--vocabulary", "300", "--seed", "1"]
+
+    def test_place_hash_writes_json(self, query_log_file, tmp_path, capsys):
+        out = tmp_path / "placement.json"
+        code = main(
+            [
+                "place",
+                str(query_log_file),
+                str(out),
+                "--strategy",
+                "hash",
+                "--nodes",
+                "4",
+                *self.COMMON,
+            ]
+        )
+        assert code == 0
+        mapping = json.loads(out.read_text())
+        assert mapping
+        assert all(0 <= node < 4 for node in mapping.values())
+        assert "placed" in capsys.readouterr().out
+
+    def test_place_lprr_beats_hash_cost(self, query_log_file, tmp_path, capsys):
+        hash_out = tmp_path / "hash.json"
+        lprr_out = tmp_path / "lprr.json"
+        for strategy, path in (("hash", hash_out), ("lprr", lprr_out)):
+            main(
+                [
+                    "place",
+                    str(query_log_file),
+                    str(path),
+                    "--strategy",
+                    strategy,
+                    "--nodes",
+                    "4",
+                    "--scope",
+                    "60",
+                    *self.COMMON,
+                ]
+            )
+        text = capsys.readouterr().out
+        costs = [
+            float(line.split("model cost ")[1].split(";")[0])
+            for line in text.splitlines()
+            if "model cost" in line
+        ]
+        assert costs[1] <= costs[0]
+
+    def test_evaluate_reports_bytes(self, query_log_file, tmp_path, capsys):
+        out = tmp_path / "placement.json"
+        main(
+            [
+                "place",
+                str(query_log_file),
+                str(out),
+                "--strategy",
+                "greedy",
+                "--nodes",
+                "4",
+                *self.COMMON,
+            ]
+        )
+        capsys.readouterr()
+        code = main(["evaluate", str(query_log_file), str(out), *self.COMMON])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "bytes moved" in text
+        assert "local" in text
+
+
+class TestExperimentCommand:
+    SMALL = [
+        "--documents",
+        "120",
+        "--vocabulary",
+        "300",
+        "--queries",
+        "800",
+        "--seed",
+        "2",
+    ]
+
+    def test_fig2(self, capsys):
+        assert main(["experiment", "fig2", *self.SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2(A)" in out
+        assert "Figure 2(B)" in out
+
+    def test_fig5(self, capsys):
+        assert main(["experiment", "fig5", *self.SMALL]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+
+class TestAnalyzeCommand:
+    def test_analyze_generated_log(self, query_log_file, capsys):
+        code = main(
+            [
+                "analyze",
+                str(query_log_file),
+                "--top-pairs",
+                "50",
+                "--min-count",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "skewness" in out
+        assert "stability" in out
+
+    def test_analyze_aol_format(self, tmp_path, capsys):
+        path = tmp_path / "aol.txt"
+        path.write_text(
+            "AnonID\tQuery\tQueryTime\n"
+            + "".join(f"1\tcar dealer\t2006-0{1 + i % 2}-01\n" for i in range(20))
+        )
+        code = main(["analyze", str(path), "--format", "aol", "--min-count", "2"])
+        assert code == 0
+        assert "stability" in capsys.readouterr().out
+
+    def test_analyze_tiny_log_fails_gracefully(self, tmp_path, capsys):
+        path = tmp_path / "one.txt"
+        path.write_text("car dealer\n")
+        assert main(["analyze", str(path)]) == 1
+
+    def test_max_queries_limits(self, query_log_file, capsys):
+        main(["analyze", str(query_log_file), "--max-queries", "10"])
+        assert "queries: 10" in capsys.readouterr().out

@@ -1,0 +1,123 @@
+"""Tests for the drift-triggered adaptive placer (repro.cluster.adaptive)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.adaptive import AdaptivePlacer
+
+
+def make_trace(pairs, repetitions=50):
+    """A trace hitting each pair `repetitions` times."""
+    trace = []
+    for pair in pairs:
+        trace.extend([tuple(pair)] * repetitions)
+    return trace
+
+
+SIZES = {f"o{i}": 1.0 for i in range(8)}
+PERIOD1_PAIRS = [("o0", "o1"), ("o2", "o3"), ("o4", "o5"), ("o6", "o7")]
+
+
+@pytest.fixture
+def placer():
+    placer = AdaptivePlacer(
+        SIZES,
+        num_nodes=4,
+        drift_threshold=0.3,
+        budget_fraction=1.0,
+        correlation_mode="cooccurrence",
+        top_pairs=10,
+    )
+    placer.bootstrap(make_trace(PERIOD1_PAIRS))
+    return placer
+
+
+class TestBootstrap:
+    def test_initial_placement_colocates_pairs(self, placer):
+        placement = placer.placement
+        for a, b in PERIOD1_PAIRS:
+            assert placement.node_of(a) == placement.node_of(b)
+
+    def test_placement_before_bootstrap_raises(self):
+        placer = AdaptivePlacer(SIZES, 4)
+        with pytest.raises(RuntimeError, match="bootstrap"):
+            _ = placer.placement
+        with pytest.raises(RuntimeError, match="bootstrap"):
+            placer.observe_period([])
+
+
+class TestObservation:
+    def test_stable_period_is_noop(self, placer):
+        before = placer.placement.assignment.copy()
+        decision = placer.observe_period(make_trace(PERIOD1_PAIRS))
+        assert not decision.replanned
+        assert decision.plan is None
+        assert decision.unstable_fraction <= 0.3
+        assert np.array_equal(placer.placement.assignment, before)
+
+    def test_drifted_period_triggers_replan(self, placer):
+        # All four pairs re-shuffle: massive drift.
+        drifted = [("o0", "o2"), ("o1", "o3"), ("o4", "o6"), ("o5", "o7")]
+        decision = placer.observe_period(make_trace(drifted))
+        assert decision.replanned
+        assert decision.plan is not None
+        assert decision.unstable_fraction > 0.3
+        placement = placer.placement
+        for a, b in drifted:
+            assert placement.node_of(a) == placement.node_of(b)
+
+    def test_replan_respects_budget(self):
+        placer = AdaptivePlacer(
+            SIZES,
+            num_nodes=4,
+            drift_threshold=0.1,
+            budget_fraction=0.125,  # one object's worth
+            correlation_mode="cooccurrence",
+        )
+        placer.bootstrap(make_trace(PERIOD1_PAIRS))
+        drifted = [("o0", "o2"), ("o1", "o3"), ("o4", "o6"), ("o5", "o7")]
+        decision = placer.observe_period(make_trace(drifted))
+        assert decision.replanned
+        assert decision.plan.bytes_moved <= 0.125 * sum(SIZES.values()) + 1e-9
+
+    def test_reference_updates_after_replan(self, placer):
+        drifted = [("o0", "o2"), ("o1", "o3"), ("o4", "o6"), ("o5", "o7")]
+        placer.observe_period(make_trace(drifted))
+        # Repeating the same (formerly drifted) workload is now stable.
+        decision = placer.observe_period(make_trace(drifted))
+        assert not decision.replanned
+
+    def test_two_smallest_mode(self):
+        sizes = {"small": 1.0, "mid": 2.0, "big": 9.0}
+        placer = AdaptivePlacer(
+            sizes, num_nodes=2, correlation_mode="two_smallest",
+            drift_threshold=0.3, top_pairs=5,
+        )
+        placer.bootstrap([("small", "mid", "big")] * 40)
+        placement = placer.placement
+        # two-smallest reduction correlates (small, mid) only.
+        assert placement.node_of("small") == placement.node_of("mid")
+
+
+class TestValidation:
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            AdaptivePlacer(SIZES, 2, drift_threshold=1.5)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            AdaptivePlacer(SIZES, 2, budget_fraction=-0.1)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError, match="correlation mode"):
+            AdaptivePlacer(SIZES, 2, correlation_mode="psychic")
+
+    def test_custom_planner_used(self):
+        from repro.core.hashing import random_hash_placement
+
+        placer = AdaptivePlacer(SIZES, 4, planner=random_hash_placement)
+        placement = placer.bootstrap(make_trace(PERIOD1_PAIRS))
+        expected = random_hash_placement(
+            placer._problem_for(placer._reference)
+        )
+        assert np.array_equal(placement.assignment, expected.assignment)

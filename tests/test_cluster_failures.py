@@ -1,0 +1,88 @@
+"""Tests for failure analysis (repro.cluster.failures)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.failures import fail_nodes, worst_single_failure
+from repro.core.placement import Placement
+from repro.core.problem import PlacementProblem
+from repro.core.replication import ReplicatedPlacement
+from repro.exceptions import ProblemDefinitionError
+
+
+@pytest.fixture
+def problem():
+    return PlacementProblem.build(
+        {"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0}, 3, {("a", "b"): 0.5}
+    )
+
+
+@pytest.fixture
+def single(problem):
+    return Placement(problem, np.array([0, 0, 1, 2]))
+
+
+@pytest.fixture
+def replicated(problem):
+    return ReplicatedPlacement(
+        problem, np.array([[0, 1], [0, 2], [1, 2], [2, 0]])
+    )
+
+
+class TestFailNodes:
+    def test_no_failure_full_availability(self, single):
+        report = fail_nodes(single, [], [("a", "b")])
+        assert report.object_availability == 1.0
+        assert report.operation_availability == 1.0
+        assert report.lost_objects == ()
+
+    def test_single_copy_loses_node_contents(self, single):
+        report = fail_nodes(single, [0])
+        assert set(report.lost_objects) == {"a", "b"}
+        assert report.surviving_objects == 2
+        assert report.object_availability == pytest.approx(0.5)
+
+    def test_operations_requiring_lost_objects_unservable(self, single):
+        trace = [("a", "b"), ("c",), ("c", "d"), ("a", "c")]
+        report = fail_nodes(single, [0], trace)
+        assert report.total_operations == 4
+        assert report.servable_operations == 2
+        assert report.operation_availability == pytest.approx(0.5)
+
+    def test_replication_survives_single_failure(self, replicated):
+        trace = [("a", "b"), ("c", "d")]
+        for node in (0, 1, 2):
+            report = fail_nodes(replicated, [node], trace)
+            assert report.lost_objects == ()
+            assert report.operation_availability == 1.0
+
+    def test_replication_double_failure_loses_objects(self, replicated):
+        report = fail_nodes(replicated, [0, 1], [("a",), ("c",)])
+        assert "a" in report.lost_objects  # copies on 0 and 1
+        assert report.operation_availability == pytest.approx(0.5)
+
+    def test_unknown_objects_in_operations_ignored(self, single):
+        report = fail_nodes(single, [0], [("zzz",), ("zzz", "c")])
+        assert report.servable_operations == 2
+
+    def test_unknown_node_rejected(self, single):
+        with pytest.raises(ProblemDefinitionError):
+            fail_nodes(single, ["ghost"])
+
+    def test_empty_trace(self, single):
+        report = fail_nodes(single, [0])
+        assert report.operation_availability == 1.0
+
+
+class TestWorstSingleFailure:
+    def test_finds_most_loaded_node(self, single):
+        # Node 0 holds both "a" and "b"; every op touches one of them.
+        trace = [("a", "c"), ("b", "d"), ("a", "b")]
+        report = worst_single_failure(single, trace)
+        assert report.failed_nodes == (0,)
+        assert report.operation_availability == 0.0
+
+    def test_replicated_placement_robust(self, replicated):
+        trace = [("a", "b"), ("c", "d"), ("a", "d")]
+        report = worst_single_failure(replicated, trace)
+        assert report.operation_availability == 1.0

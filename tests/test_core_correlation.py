@@ -1,0 +1,123 @@
+"""Tests for correlation estimators (repro.core.correlation)."""
+
+import pytest
+
+from repro.core.correlation import (
+    CorrelationEstimator,
+    cooccurrence_correlations,
+    two_smallest_correlations,
+    union_largest_correlations,
+)
+
+
+class TestCooccurrence:
+    def test_two_object_operations_exact(self):
+        trace = [("a", "b"), ("a", "b"), ("a", "c"), ("b", "c")]
+        corr = cooccurrence_correlations(trace)
+        assert corr[("a", "b")] == pytest.approx(0.5)
+        assert corr[("a", "c")] == pytest.approx(0.25)
+        assert corr[("b", "c")] == pytest.approx(0.25)
+
+    def test_multi_object_operation_counts_all_pairs(self):
+        corr = cooccurrence_correlations([("a", "b", "c")])
+        assert len(corr) == 3
+        assert all(v == 1.0 for v in corr.values())
+
+    def test_duplicates_within_operation_ignored(self):
+        corr = cooccurrence_correlations([("a", "a", "b")])
+        assert corr == {("a", "b"): 1.0}
+
+    def test_single_object_operations_dilute(self):
+        corr = cooccurrence_correlations([("a",), ("a", "b")])
+        assert corr[("a", "b")] == pytest.approx(0.5)
+
+    def test_min_support_filters(self):
+        trace = [("a", "b"), ("a", "b"), ("c", "d")]
+        corr = cooccurrence_correlations(trace, min_support=2)
+        assert ("a", "b") in corr
+        assert ("c", "d") not in corr
+
+    def test_empty_trace(self):
+        assert cooccurrence_correlations([]) == {}
+
+    def test_pairs_canonicalized(self):
+        corr = cooccurrence_correlations([("b", "a"), ("a", "b")])
+        assert corr == {("a", "b"): 1.0}
+
+
+class TestTwoSmallest:
+    SIZES = {"small": 1.0, "mid": 5.0, "big": 50.0}
+
+    def test_three_object_operation_keeps_two_smallest(self):
+        corr = two_smallest_correlations([("small", "mid", "big")], self.SIZES)
+        assert corr == {("mid", "small"): 1.0}
+
+    def test_two_object_operation_unchanged(self):
+        corr = two_smallest_correlations([("mid", "big")], self.SIZES)
+        assert corr == {("big", "mid"): 1.0}
+
+    def test_unknown_objects_ignored(self):
+        corr = two_smallest_correlations([("small", "???", "mid")], self.SIZES)
+        assert corr == {("mid", "small"): 1.0}
+
+    def test_operations_without_two_known_objects_count_in_denominator(self):
+        corr = two_smallest_correlations([("small",), ("small", "mid")], self.SIZES)
+        assert corr[("mid", "small")] == pytest.approx(0.5)
+
+    def test_size_ties_broken_deterministically(self):
+        sizes = {"a": 1.0, "b": 1.0, "c": 1.0}
+        first = two_smallest_correlations([("a", "b", "c")], sizes)
+        second = two_smallest_correlations([("c", "b", "a")], sizes)
+        assert first == second
+
+
+class TestUnionLargest:
+    SIZES = {"s": 1.0, "m": 5.0, "l": 50.0}
+
+    def test_largest_paired_with_each_other(self):
+        corr = union_largest_correlations([("s", "m", "l")], self.SIZES)
+        assert corr == {("l", "s"): 1.0, ("l", "m"): 1.0}
+
+    def test_q_objects_give_q_minus_1_pairs(self):
+        sizes = {c: i + 1.0 for i, c in enumerate("abcde")}
+        corr = union_largest_correlations([tuple("abcde")], sizes)
+        assert len(corr) == 4
+        assert all(pair.count("e") == 1 for pair in corr)
+
+
+class TestEstimator:
+    def test_incremental_matches_batch(self):
+        trace = [("a", "b"), ("a", "b", "c"), ("b", "c"), ("d",)]
+        est = CorrelationEstimator(mode="cooccurrence")
+        est.observe_all(trace)
+        assert est.correlations() == cooccurrence_correlations(trace)
+        assert est.num_operations == 4
+
+    def test_two_smallest_mode_matches_batch(self):
+        sizes = {"a": 1.0, "b": 2.0, "c": 3.0}
+        trace = [("a", "b", "c"), ("b", "c")]
+        est = CorrelationEstimator(mode="two_smallest", sizes=sizes)
+        est.observe_all(trace)
+        assert est.correlations() == two_smallest_correlations(trace, sizes)
+
+    def test_union_mode_matches_batch(self):
+        sizes = {"a": 1.0, "b": 2.0, "c": 3.0}
+        trace = [("a", "b", "c")]
+        est = CorrelationEstimator(mode="union_largest", sizes=sizes)
+        est.observe_all(trace)
+        assert est.correlations() == union_largest_correlations(trace, sizes)
+
+    def test_top_pairs_sorted_descending(self):
+        est = CorrelationEstimator()
+        est.observe_all([("a", "b"), ("a", "b"), ("c", "d")])
+        top = est.top_pairs(2)
+        assert top[0][0] == ("a", "b")
+        assert top[0][1] > top[1][1]
+
+    def test_sizes_required_for_size_modes(self):
+        with pytest.raises(ValueError, match="requires object sizes"):
+            CorrelationEstimator(mode="two_smallest")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            CorrelationEstimator(mode="bogus")

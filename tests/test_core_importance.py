@@ -1,0 +1,92 @@
+"""Tests for importance ranking (repro.core.importance)."""
+
+import numpy as np
+import pytest
+
+from repro.core.importance import importance_ranking, importance_scores, top_important
+from repro.core.problem import PlacementProblem
+
+
+@pytest.fixture
+def skewed_problem():
+    # Pair weights: (a,b): 0.9*1 = 0.9; (c,d): 0.5*1; (e,f): 0.1*1.
+    return PlacementProblem.build(
+        objects={o: 1.0 for o in "abcdefgh"},
+        nodes=2,
+        correlations={("a", "b"): 0.9, ("c", "d"): 0.5, ("e", "f"): 0.1},
+    )
+
+
+class TestRanking:
+    def test_order_follows_pair_weight(self, skewed_problem):
+        ranking = importance_ranking(skewed_problem)
+        assert ranking[:2] == ["a", "b"]
+        assert ranking[2:4] == ["c", "d"]
+        assert ranking[4:6] == ["e", "f"]
+
+    def test_never_paired_ranked_last(self, skewed_problem):
+        ranking = importance_ranking(skewed_problem)
+        assert set(ranking[6:]) == {"g", "h"}
+
+    def test_never_paired_ordered_by_size(self):
+        p = PlacementProblem.build(
+            {"a": 1.0, "b": 1.0, "small": 1.0, "big": 10.0},
+            2,
+            {("a", "b"): 0.5},
+        )
+        ranking = importance_ranking(p)
+        assert ranking[2:] == ["big", "small"]
+
+    def test_shared_object_appears_once(self):
+        # b participates in both top pairs; it must not duplicate.
+        p = PlacementProblem.build(
+            {"a": 1.0, "b": 1.0, "c": 1.0},
+            2,
+            {("a", "b"): 0.9, ("b", "c"): 0.8},
+        )
+        ranking = importance_ranking(p)
+        assert sorted(ranking) == ["a", "b", "c"]
+        assert ranking[:2] == ["a", "b"]
+        assert ranking[2] == "c"
+
+    def test_no_pairs_falls_back_to_size(self):
+        p = PlacementProblem.build({"s": 1.0, "m": 5.0, "l": 9.0}, 2, {})
+        assert importance_ranking(p) == ["l", "m", "s"]
+
+    def test_weight_not_just_correlation(self):
+        """Ranking uses r*w, so a big low-r pair can beat a small high-r one."""
+        p = PlacementProblem.build(
+            {"big1": 100.0, "big2": 100.0, "s1": 1.0, "s2": 1.0},
+            2,
+            {("big1", "big2"): 0.2, ("s1", "s2"): 0.9},  # 20 vs 0.9
+        )
+        ranking = importance_ranking(p)
+        assert ranking[:2] == ["big1", "big2"]
+
+
+class TestScoresAndTop:
+    def test_scores_align_with_ranking(self, skewed_problem):
+        ranking = importance_ranking(skewed_problem)
+        scores = importance_scores(skewed_problem)
+        for rank, obj in enumerate(ranking):
+            assert scores[skewed_problem.object_index(obj)] == rank
+
+    def test_scores_are_a_permutation(self, skewed_problem):
+        scores = importance_scores(skewed_problem)
+        assert sorted(scores.tolist()) == list(range(8))
+
+    def test_top_important_prefix(self, skewed_problem):
+        assert top_important(skewed_problem, 4) == ["a", "b", "c", "d"]
+
+    def test_top_important_clipped(self, skewed_problem):
+        assert len(top_important(skewed_problem, 100)) == 8
+
+    def test_negative_scope_rejected(self, skewed_problem):
+        with pytest.raises(ValueError):
+            top_important(skewed_problem, -1)
+
+    def test_zero_scope(self, skewed_problem):
+        assert top_important(skewed_problem, 0) == []
+
+    def test_deterministic(self, skewed_problem):
+        assert importance_ranking(skewed_problem) == importance_ranking(skewed_problem)

@@ -1,0 +1,105 @@
+"""Tests for local-search placement (repro.core.local_search)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import solve_exact
+from repro.core.greedy import greedy_placement
+from repro.core.hashing import random_hash_placement
+from repro.core.local_search import local_search_placement
+from repro.core.placement import Placement
+from repro.core.problem import PlacementProblem
+
+
+@pytest.fixture
+def clustered():
+    return PlacementProblem.build(
+        objects={f"o{i}": 1.0 for i in range(8)},
+        nodes={k: 4.0 for k in range(2)},
+        correlations={
+            ("o0", "o1"): 0.9,
+            ("o2", "o3"): 0.8,
+            ("o4", "o5"): 0.7,
+            ("o6", "o7"): 0.6,
+            ("o0", "o2"): 0.05,
+        },
+    )
+
+
+class TestLocalSearch:
+    def test_never_worse_than_start(self, clustered):
+        start = random_hash_placement(clustered)
+        improved = local_search_placement(clustered, start=start)
+        assert improved.communication_cost() <= start.communication_cost() + 1e-12
+
+    def test_fixes_bad_start_substantially(self, clustered):
+        # Worst split: every couple divided (cost = total pair weight).
+        start = Placement(clustered, np.array([0, 1, 0, 1, 0, 1, 0, 1]))
+        improved = local_search_placement(clustered, start=start, rng=0)
+        exact = solve_exact(clustered)
+        # Local search unites every couple; at worst it keeps the weak
+        # cross pair (o0,o2) split — a true local optimum.
+        assert improved.communication_cost() <= exact.cost + 0.05 + 1e-9
+        assert improved.communication_cost() < start.communication_cost() / 10
+
+    def test_reaches_optimum_without_competing_cross_pairs(self):
+        p = PlacementProblem.build(
+            {f"o{i}": 1.0 for i in range(4)},
+            {0: 2.0, 1: 2.0},
+            {("o0", "o1"): 0.9, ("o2", "o3"): 0.8},
+        )
+        start = Placement(p, np.array([0, 1, 0, 1]))
+        improved = local_search_placement(p, start=start, rng=0)
+        assert improved.communication_cost() == pytest.approx(0.0)
+
+    def test_respects_capacity(self, clustered):
+        start = greedy_placement(clustered)
+        improved = local_search_placement(clustered, start=start)
+        assert improved.is_feasible()
+
+    def test_default_start_is_greedy(self, clustered):
+        improved = local_search_placement(clustered, rng=1)
+        greedy_cost = greedy_placement(clustered).communication_cost()
+        assert improved.communication_cost() <= greedy_cost + 1e-12
+
+    def test_swaps_escape_capacity_lock(self):
+        """Full nodes block single moves; only a swap can fix the split."""
+        p = PlacementProblem.build(
+            {"a": 2.0, "b": 2.0, "c": 2.0, "d": 2.0},
+            {0: 4.0, 1: 4.0},
+            {("a", "b"): 1.0, ("c", "d"): 1.0},
+        )
+        # a,c on node 0; b,d on node 1: both pairs split, nodes full.
+        # Pair cost w = min(sizes) = 2, so the stuck cost is 2 + 2 = 4.
+        start = Placement(p, np.array([0, 1, 0, 1]))
+        no_swaps = local_search_placement(p, start=start, allow_swaps=False, rng=0)
+        with_swaps = local_search_placement(p, start=start, allow_swaps=True, rng=0)
+        assert no_swaps.communication_cost() == pytest.approx(4.0)  # stuck
+        assert with_swaps.communication_cost() == pytest.approx(0.0)
+
+    def test_zero_passes_returns_start(self, clustered):
+        start = random_hash_placement(clustered)
+        same = local_search_placement(clustered, start=start, max_passes=0)
+        assert np.array_equal(same.assignment, start.assignment)
+
+    def test_negative_passes_rejected(self, clustered):
+        with pytest.raises(ValueError):
+            local_search_placement(clustered, max_passes=-1)
+
+    def test_deterministic_under_seed(self, clustered):
+        start = random_hash_placement(clustered)
+        a = local_search_placement(clustered, start=start, rng=42)
+        b = local_search_placement(clustered, start=start, rng=42)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_no_pairs_noop(self):
+        p = PlacementProblem.build({"a": 1.0, "b": 1.0}, 2, {})
+        start = Placement(p, np.array([0, 1]))
+        result = local_search_placement(p, start=start)
+        assert result.communication_cost() == 0.0
+
+    def test_registered_strategy(self, clustered):
+        from repro.core.strategies import get_strategy
+
+        placement = get_strategy("local_search")(clustered)
+        assert placement.is_feasible()

@@ -1,0 +1,167 @@
+"""Tests for migration planning (repro.core.migration)."""
+
+import numpy as np
+import pytest
+
+from repro.core.migration import Migration, diff_placements, select_migrations
+from repro.core.placement import Placement
+from repro.core.problem import PlacementProblem
+from repro.exceptions import PlacementError
+
+
+@pytest.fixture
+def problem():
+    return PlacementProblem.build(
+        objects={"a": 2.0, "b": 2.0, "c": 2.0, "d": 2.0},
+        nodes={0: 10.0, 1: 10.0},
+        correlations={("a", "b"): 0.9, ("c", "d"): 0.5},
+    )
+
+
+def placement(problem, nodes):
+    return Placement(problem, np.asarray(nodes, dtype=np.int64))
+
+
+class TestDiff:
+    def test_identical_placements_empty_plan(self, problem):
+        p = placement(problem, [0, 0, 1, 1])
+        plan = diff_placements(p, p)
+        assert plan.num_moves == 0
+        assert plan.bytes_moved == 0.0
+        assert plan.saving == 0.0
+
+    def test_diff_lists_changed_objects(self, problem):
+        current = placement(problem, [0, 1, 0, 1])  # both pairs split
+        target = placement(problem, [0, 0, 1, 1])  # both co-located
+        plan = diff_placements(current, target)
+        assert plan.num_moves == 2
+        assert plan.bytes_moved == 4.0
+        assert plan.cost_before == pytest.approx(0.9 * 2 + 0.5 * 2)
+        assert plan.cost_after == pytest.approx(0.0)
+
+    def test_apply_reaches_target(self, problem):
+        current = placement(problem, [0, 1, 0, 1])
+        target = placement(problem, [0, 0, 1, 1])
+        plan = diff_placements(current, target)
+        assert plan.apply(current) == target
+
+    def test_apply_with_stale_source_rejected(self, problem):
+        current = placement(problem, [0, 1, 0, 1])
+        plan = diff_placements(current, placement(problem, [0, 0, 1, 1]))
+        moved_already = placement(problem, [0, 0, 0, 1])
+        with pytest.raises(PlacementError, match="expected it on"):
+            plan.apply(moved_already)
+
+    def test_mismatched_problems_rejected(self, problem):
+        other = PlacementProblem.build({"x": 1.0}, 2, {})
+        with pytest.raises(PlacementError, match="different objects"):
+            diff_placements(
+                placement(problem, [0, 0, 0, 0]),
+                Placement(other, np.array([0])),
+            )
+
+
+class TestSelect:
+    def test_unbudgeted_selection_converges_to_target_cost(self, problem):
+        current = placement(problem, [0, 1, 0, 1])
+        target = placement(problem, [0, 0, 1, 1])
+        plan = select_migrations(current, target)
+        assert plan.cost_after == pytest.approx(0.0)
+
+    def test_budget_prefers_best_gain_per_byte(self, problem):
+        # Budget for exactly one move: uniting (a,b) saves 1.8/2 bytes,
+        # uniting (c,d) saves 1.0/2 bytes -> move b (or a).
+        current = placement(problem, [0, 1, 0, 1])
+        target = placement(problem, [0, 0, 1, 1])
+        plan = select_migrations(current, target, budget_bytes=2.0)
+        assert plan.num_moves == 1
+        assert plan.migrations[0].obj in ("a", "b")
+        assert plan.saving == pytest.approx(0.9 * 2.0)
+
+    def test_zero_budget_moves_nothing(self, problem):
+        current = placement(problem, [0, 1, 0, 1])
+        target = placement(problem, [0, 0, 1, 1])
+        plan = select_migrations(current, target, budget_bytes=0.0)
+        assert plan.num_moves == 0
+        assert plan.cost_after == plan.cost_before
+
+    def test_negative_budget_rejected(self, problem):
+        p = placement(problem, [0, 0, 1, 1])
+        with pytest.raises(ValueError):
+            select_migrations(p, p, budget_bytes=-1.0)
+
+    def test_unprofitable_moves_skipped(self, problem):
+        # Target splits pair (a,b); selection refuses to pay for it.
+        current = placement(problem, [0, 0, 1, 1])
+        target = placement(problem, [0, 1, 1, 1])
+        plan = select_migrations(current, target)
+        assert plan.num_moves <= 1
+        assert plan.cost_after <= plan.cost_before + 1e-12
+
+    def test_capacity_respected_during_plan(self):
+        p = PlacementProblem.build(
+            {"a": 3.0, "b": 3.0}, {0: 6.0, 1: 3.0}, {("a", "b"): 1.0}
+        )
+        current = Placement(p, np.array([0, 1]))
+        target = Placement(p, np.array([0, 0]))
+        # Moving b to node 0 fits (load 3+3 <= 6) -> allowed.
+        plan = select_migrations(current, target)
+        assert plan.num_moves == 1
+        # But if node 0 were smaller, the move must be skipped.
+        tight = PlacementProblem.build(
+            {"a": 3.0, "b": 3.0}, {0: 4.0, 1: 4.0}, {("a", "b"): 1.0}
+        )
+        plan2 = select_migrations(
+            Placement(tight, np.array([0, 1])),
+            Placement(tight, np.array([0, 0])),
+        )
+        assert plan2.num_moves == 0
+
+    def test_interacting_moves_reevaluated(self):
+        # Chain a-b-c: moving b towards a changes c's marginal gain.
+        p = PlacementProblem.build(
+            {"a": 1.0, "b": 1.0, "c": 1.0},
+            {0: 10.0, 1: 10.0},
+            {("a", "b"): 0.6, ("b", "c"): 0.6},
+        )
+        current = Placement(p, np.array([0, 1, 1]))
+        target = Placement(p, np.array([0, 0, 0]))
+        plan = select_migrations(current, target)
+        assert plan.cost_after == pytest.approx(0.0)
+        # b must move before c becomes profitable; order matters.
+        assert [m.obj for m in plan.migrations] == ["b", "c"]
+
+    def test_bytes_accounting(self, problem):
+        current = placement(problem, [0, 1, 0, 1])
+        target = placement(problem, [0, 0, 1, 1])
+        plan = select_migrations(current, target, budget_bytes=100.0)
+        assert plan.bytes_moved == pytest.approx(
+            sum(m.size for m in plan.migrations)
+        )
+
+
+class TestDriftScenario:
+    def test_replan_after_drift_saves_with_small_budget(self):
+        """End-to-end: place for period-1 correlations, drift to
+        period-2, replan, and migrate under a budget."""
+        rng = np.random.default_rng(0)
+        objects = {f"o{i}": 1.0 for i in range(20)}
+        pairs1 = {(f"o{2*i}", f"o{2*i+1}"): 0.5 for i in range(10)}
+        problem1 = PlacementProblem.build(objects, 4, pairs1)
+
+        from repro.core.lprr import LPRRPlanner
+
+        placement1 = LPRRPlanner(seed=0).plan(problem1).placement
+
+        # Drift: three couples re-pair with new partners.
+        pairs2 = dict(pairs1)
+        del pairs2[("o0", "o1")], pairs2[("o2", "o3")]
+        pairs2[("o0", "o2")] = 0.7
+        pairs2[("o1", "o3")] = 0.7
+        problem2 = PlacementProblem.build(objects, 4, pairs2)
+
+        current = Placement(problem2, placement1.assignment)
+        target = LPRRPlanner(seed=0).plan(problem2).placement
+        plan = select_migrations(current, target, budget_bytes=4.0)
+        assert plan.bytes_moved <= 4.0
+        assert plan.cost_after <= plan.cost_before

@@ -1,0 +1,107 @@
+"""Tests for the Theorem 1 reduction and the isolation heuristic."""
+
+import networkx as nx
+import pytest
+
+from repro.core.exact import solve_exact
+from repro.core.multiway_cut import (
+    cca_from_multiway_cut,
+    isolation_heuristic,
+    multiway_cut_value,
+    partition_from_placement,
+)
+
+
+def path_graph_instance():
+    """t1 - a - t2 with unit weights: min multiway cut = 1."""
+    g = nx.Graph()
+    g.add_edge("t1", "a", weight=1.0)
+    g.add_edge("a", "t2", weight=1.0)
+    return g, ["t1", "t2"]
+
+
+def triangle_instance():
+    """Three terminals pairwise connected; any 2-of-3 edges form the cut."""
+    g = nx.Graph()
+    g.add_edge("t1", "t2", weight=1.0)
+    g.add_edge("t2", "t3", weight=1.0)
+    g.add_edge("t1", "t3", weight=1.0)
+    return g, ["t1", "t2", "t3"]
+
+
+class TestReduction:
+    def test_terminals_forced_apart(self):
+        g, terminals = path_graph_instance()
+        problem = cca_from_multiway_cut(g, terminals)
+        solution = solve_exact(problem)
+        assert solution.placement.node_of("t1") != solution.placement.node_of("t2")
+
+    def test_cca_optimum_equals_min_cut(self):
+        g, terminals = path_graph_instance()
+        problem = cca_from_multiway_cut(g, terminals)
+        assert solve_exact(problem).cost == pytest.approx(1.0)
+
+    def test_triangle_cut_value(self):
+        g, terminals = triangle_instance()
+        problem = cca_from_multiway_cut(g, terminals)
+        assert solve_exact(problem).cost == pytest.approx(3.0)  # all edges cut
+
+    def test_weighted_instance(self):
+        g = nx.Graph()
+        g.add_edge("t1", "a", weight=10.0)
+        g.add_edge("a", "t2", weight=1.0)
+        problem = cca_from_multiway_cut(g, ["t1", "t2"])
+        # Cut the cheap edge: a stays with t1.
+        solution = solve_exact(problem)
+        assert solution.cost == pytest.approx(1.0)
+        assert solution.placement.node_of("a") == solution.placement.node_of("t1")
+
+    def test_partition_round_trip(self):
+        g, terminals = path_graph_instance()
+        problem = cca_from_multiway_cut(g, terminals)
+        solution = solve_exact(problem)
+        partition = partition_from_placement(solution.placement)
+        assert multiway_cut_value(g, partition) == pytest.approx(solution.cost)
+
+    def test_validation(self):
+        g, _ = path_graph_instance()
+        with pytest.raises(ValueError, match="at least two"):
+            cca_from_multiway_cut(g, ["t1"])
+        with pytest.raises(ValueError, match="distinct"):
+            cca_from_multiway_cut(g, ["t1", "t1"])
+        with pytest.raises(ValueError, match="not in graph"):
+            cca_from_multiway_cut(g, ["t1", "zzz"])
+
+
+class TestIsolationHeuristic:
+    def test_exact_on_path(self):
+        g, terminals = path_graph_instance()
+        partition, value = isolation_heuristic(g, terminals)
+        assert value == pytest.approx(1.0)
+        assert partition["t1"] != partition["t2"]
+
+    def test_terminals_in_own_parts(self):
+        g, terminals = triangle_instance()
+        partition, _ = isolation_heuristic(g, terminals)
+        assert len({partition[t] for t in terminals}) == 3
+
+    def test_approximation_ratio_bound(self):
+        """On random graphs the heuristic is within 2 - 2/k of optimum."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        g = nx.gnm_random_graph(8, 16, seed=1)
+        for u, v in g.edges:
+            g[u][v]["weight"] = float(rng.uniform(0.5, 2.0))
+        terminals = [0, 1, 2]
+        partition, value = isolation_heuristic(g, terminals)
+        problem = cca_from_multiway_cut(g, terminals)
+        optimum = solve_exact(problem).cost
+        k = len(terminals)
+        assert optimum <= value + 1e-9
+        assert value <= (2 - 2 / k) * optimum + 1e-9
+
+    def test_heuristic_value_consistent_with_partition(self):
+        g, terminals = triangle_instance()
+        partition, value = isolation_heuristic(g, terminals)
+        assert value == pytest.approx(multiway_cut_value(g, partition))

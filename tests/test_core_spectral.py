@@ -1,0 +1,79 @@
+"""Tests for spectral placement (repro.core.spectral)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import random_hash_placement
+from repro.core.problem import PlacementProblem
+from repro.core.spectral import spectral_placement
+
+
+def two_cluster_problem(cluster_size=4, nodes=2):
+    objects = {}
+    correlations = {}
+    for c in range(2):
+        members = [f"c{c}_{i}" for i in range(cluster_size)]
+        for m in members:
+            objects[m] = 1.0
+        for i in range(cluster_size):
+            for j in range(i + 1, cluster_size):
+                correlations[(members[i], members[j])] = 0.5
+    correlations[("c0_0", "c1_0")] = 0.01  # weak bridge
+    return PlacementProblem.build(objects, nodes, correlations)
+
+
+class TestSpectralPlacement:
+    def test_total_assignment(self):
+        p = two_cluster_problem()
+        placement = spectral_placement(p)
+        assert placement.assignment.shape == (p.num_objects,)
+        assert np.all(placement.assignment >= 0)
+
+    def test_separates_two_clusters(self):
+        p = two_cluster_problem()
+        placement = spectral_placement(p)
+        # All of cluster 0 together, all of cluster 1 together.
+        nodes0 = {placement.node_of(f"c0_{i}") for i in range(4)}
+        nodes1 = {placement.node_of(f"c1_{i}") for i in range(4)}
+        assert len(nodes0) == 1 and len(nodes1) == 1
+        assert nodes0 != nodes1
+        # Only the weak bridge pays.
+        assert placement.communication_cost() == pytest.approx(0.01 * 1.0)
+
+    def test_beats_hash_on_clustered_graph(self):
+        p = two_cluster_problem(cluster_size=6, nodes=4)
+        spectral = spectral_placement(p)
+        hashed = random_hash_placement(p)
+        assert spectral.communication_cost() <= hashed.communication_cost()
+
+    def test_respects_capacity_via_final_repair(self):
+        p = PlacementProblem.build(
+            {f"o{i}": 1.0 for i in range(6)},
+            {0: 3.0, 1: 3.0},
+            {("o0", "o1"): 0.9},
+        )
+        placement = spectral_placement(p)
+        assert placement.is_feasible()
+
+    def test_no_edges_falls_back_to_size_split(self):
+        p = PlacementProblem.build({f"o{i}": float(i + 1) for i in range(6)}, 2, {})
+        placement = spectral_placement(p)
+        loads = placement.node_loads()
+        # Size-balanced halves: neither side empty.
+        assert loads.min() > 0
+
+    def test_more_nodes_than_objects(self):
+        p = PlacementProblem.build({"a": 1.0, "b": 1.0}, 5, {("a", "b"): 0.5})
+        placement = spectral_placement(p)
+        assert placement.assignment.shape == (2,)
+
+    def test_deterministic(self):
+        p = two_cluster_problem()
+        a = spectral_placement(p)
+        b = spectral_placement(p)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_single_node(self):
+        p = two_cluster_problem(nodes=1)
+        placement = spectral_placement(p)
+        assert placement.communication_cost() == 0.0

@@ -1,0 +1,103 @@
+"""Property-based tests for the database substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.database.engine import DistributedDatabase
+from repro.database.queries import AggregateQuery, JoinQuery
+from repro.database.table import Table
+
+
+def brute_force_join_count(left_keys, right_keys):
+    return sum(1 for a in left_keys for b in right_keys if a == b)
+
+
+@st.composite
+def key_arrays(draw, max_rows=12, key_range=6):
+    rows = draw(st.integers(0, max_rows))
+    return draw(
+        st.lists(
+            st.integers(0, key_range - 1), min_size=rows, max_size=rows
+        )
+    )
+
+
+class TestJoinProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(left=key_arrays(), right=key_arrays())
+    def test_join_row_count_matches_brute_force(self, left, right):
+        a = Table("a", {"key": np.asarray(left, dtype=np.int64)})
+        b = Table("b", {"key": np.asarray(right, dtype=np.int64)})
+        joined = a.join(b, on="key")
+        assert joined.num_rows == brute_force_join_count(left, right)
+
+    @settings(max_examples=40, deadline=None)
+    @given(left=key_arrays(), right=key_arrays())
+    def test_join_commutative_in_count(self, left, right):
+        a = Table("a", {"key": np.asarray(left, dtype=np.int64)})
+        b = Table("b", {"key": np.asarray(right, dtype=np.int64)})
+        assert a.join(b, on="key").num_rows == b.join(a, on="key").num_rows
+
+    @settings(max_examples=40, deadline=None)
+    @given(keys=key_arrays())
+    def test_self_join_at_least_rows(self, keys):
+        t = Table("t", {"key": np.asarray(keys, dtype=np.int64)})
+        other = Table("o", {"key": np.asarray(keys, dtype=np.int64)})
+        # Every row matches itself at minimum.
+        assert t.join(other, on="key").num_rows >= t.num_rows
+
+
+class TestExecutionProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        left=key_arrays(max_rows=8),
+        right=key_arrays(max_rows=8),
+        seed=st.integers(0, 100),
+    )
+    def test_join_value_placement_invariant(self, left, right, seed):
+        """Query answers never depend on where tables live."""
+        rng = np.random.default_rng(seed)
+        a = Table(
+            "a",
+            {
+                "key": np.asarray(left, dtype=np.int64),
+                "value": rng.integers(0, 50, len(left)),
+            },
+        )
+        b = Table("b", {"key": np.asarray(right, dtype=np.int64)})
+        query = JoinQuery(("a", "b"), on="key", aggregate_column="value")
+        results = set()
+        for mapping in ({"a": 0, "b": 0}, {"a": 0, "b": 1}, {"a": 1, "b": 0}):
+            engine = DistributedDatabase([a, b], mapping)
+            outcome = engine.execute_join(query)
+            results.add((outcome.value, outcome.rows))
+        assert len(results) == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.lists(st.integers(0, 100), min_size=0, max_size=10))
+    def test_aggregate_sum_matches_numpy(self, values):
+        t = Table("t", {"value": np.asarray(values, dtype=np.int64)})
+        engine = DistributedDatabase([t], {"t": 0})
+        outcome = engine.execute_aggregate(AggregateQuery(("t",), "value", "sum"))
+        assert outcome.value == float(sum(values))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        left=key_arrays(max_rows=6),
+        mid=key_arrays(max_rows=6),
+        right=key_arrays(max_rows=6),
+    )
+    def test_three_way_join_count_placement_invariant(self, left, mid, right):
+        tables = [
+            Table("l", {"key": np.asarray(left, dtype=np.int64)}),
+            Table("m", {"key": np.asarray(mid, dtype=np.int64)}),
+            Table("r", {"key": np.asarray(right, dtype=np.int64)}),
+        ]
+        query = JoinQuery(("l", "m", "r"), on="key")
+        counts = set()
+        for mapping in ({"l": 0, "m": 0, "r": 0}, {"l": 0, "m": 1, "r": 2}):
+            engine = DistributedDatabase(tables, mapping)
+            counts.add(engine.execute_join(query).rows)
+        assert len(counts) == 1

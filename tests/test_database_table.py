@@ -1,0 +1,129 @@
+"""Tests for tables (repro.database.table)."""
+
+import numpy as np
+import pytest
+
+from repro.database.table import ROW_HEADER_BYTES, VALUE_BYTES, Table
+
+
+@pytest.fixture
+def orders():
+    return Table(
+        "orders",
+        {
+            "key": np.array([1, 2, 2, 3]),
+            "value": np.array([10, 20, 25, 30]),
+        },
+    )
+
+
+@pytest.fixture
+def customers():
+    return Table(
+        "customers",
+        {
+            "key": np.array([1, 2, 4]),
+            "value": np.array([100, 200, 400]),
+            "attr": np.array([7, 8, 9]),
+        },
+    )
+
+
+class TestConstruction:
+    def test_shape(self, orders):
+        assert orders.num_rows == 4
+        assert orders.column_names == ("key", "value")
+
+    def test_size_bytes(self, orders):
+        per_row = ROW_HEADER_BYTES + 2 * VALUE_BYTES
+        assert orders.size_bytes == 4 * per_row
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError, match="rows"):
+            Table("t", {"a": np.array([1, 2]), "b": np.array([1])})
+
+    def test_empty_table_allowed(self):
+        t = Table("t", {"a": np.array([], dtype=np.int64)})
+        assert t.num_rows == 0
+        assert t.size_bytes == 0
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(ValueError, match="at least one column"):
+            Table("t", {})
+
+    def test_two_dimensional_column_rejected(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            Table("t", {"a": np.zeros((2, 2))})
+
+    def test_unknown_column(self, orders):
+        with pytest.raises(KeyError, match="no column"):
+            orders.column("ghost")
+        assert not orders.has_column("ghost")
+
+
+class TestSelect:
+    def test_mask_filter(self, orders):
+        filtered = orders.select(orders.column("value") > 15)
+        assert filtered.num_rows == 3
+        assert filtered.column("key").tolist() == [2, 2, 3]
+
+    def test_bad_mask_shape(self, orders):
+        with pytest.raises(ValueError, match="mask length"):
+            orders.select(np.array([True]))
+
+
+class TestJoin:
+    def test_inner_join_matches(self, orders, customers):
+        joined = orders.join(customers, on="key")
+        # keys 1 (1 row) and 2 (2 rows) match; key 3 and 4 don't.
+        assert joined.num_rows == 3
+        assert sorted(joined.column("key").tolist()) == [1, 2, 2]
+
+    def test_join_brings_other_columns(self, orders, customers):
+        joined = orders.join(customers, on="key")
+        assert "attr" in joined.column_names
+        # Colliding "value" column is suffixed.
+        assert "customers.value" in joined.column_names
+
+    def test_join_values_aligned(self, orders, customers):
+        joined = orders.join(customers, on="key")
+        for key, attr in zip(joined.column("key"), joined.column("attr")):
+            expected = {1: 7, 2: 8}[int(key)]
+            assert int(attr) == expected
+
+    def test_join_symmetric_row_count(self, orders, customers):
+        a = orders.join(customers, on="key")
+        b = customers.join(orders, on="key")
+        assert a.num_rows == b.num_rows
+
+    def test_join_missing_column(self, orders):
+        other = Table("x", {"other_key": np.array([1])})
+        with pytest.raises(KeyError):
+            orders.join(other, on="key")
+
+    def test_join_empty_result(self):
+        a = Table("a", {"key": np.array([1, 2])})
+        b = Table("b", {"key": np.array([3, 4])})
+        assert a.join(b, on="key").num_rows == 0
+
+
+class TestAggregate:
+    def test_sum(self, orders):
+        assert orders.aggregate("value", "sum") == 85.0
+
+    def test_count(self, orders):
+        assert orders.aggregate("value", "count") == 4.0
+
+    def test_min_max_mean(self, orders):
+        assert orders.aggregate("value", "min") == 10.0
+        assert orders.aggregate("value", "max") == 30.0
+        assert orders.aggregate("value", "mean") == pytest.approx(21.25)
+
+    def test_empty_table_aggregates(self):
+        t = Table("t", {"v": np.array([], dtype=np.int64)})
+        assert t.aggregate("v", "sum") == 0.0
+        assert np.isnan(t.aggregate("v", "mean"))
+
+    def test_unknown_op(self, orders):
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            orders.aggregate("value", "median")

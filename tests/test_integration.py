@@ -1,0 +1,156 @@
+"""Integration tests across subsystems.
+
+These exercise whole pipelines the way the examples and benchmarks do,
+on tiny instances: corpus -> index -> queries -> problem -> placement
+-> engine/cluster, plus drift/replanning and replication flows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import (
+    LPRRPlanner,
+    Placement,
+    greedy_placement,
+    random_hash_placement,
+    select_migrations,
+    solve_exact,
+)
+from repro.core.replication import greedy_replicated_placement
+from repro.search.engine import DistributedSearchEngine, build_placement_problem
+from repro.search.index import ITEM_BYTES, InvertedIndex
+from repro.search.replicated_engine import ReplicatedSearchEngine
+from repro.workloads.corpus_gen import generate_corpus
+from repro.workloads.query_gen import QueryWorkloadModel
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    corpus = generate_corpus(150, 400, words_per_doc=25, seed=11)
+    index = InvertedIndex.from_corpus(corpus)
+    model = QueryWorkloadModel(index.vocabulary, num_topics=40, seed=11)
+    log = model.generate(3000, rng=11)
+    problem = build_placement_problem(index, log, 4, min_support=2)
+    return corpus, index, model, log, problem
+
+
+class TestEndToEnd:
+    def test_model_cost_orders_match_engine_bytes(self, pipeline):
+        """The CCA objective and the replayed engine traffic must rank
+        the three paper strategies identically."""
+        _, index, _, log, problem = pipeline
+        placements = {
+            "hash": random_hash_placement(problem),
+            "greedy": greedy_placement(problem.with_capacities(
+                2 * problem.total_size / problem.num_nodes
+            )),
+            "lprr": LPRRPlanner(seed=0).plan(problem).placement,
+        }
+        model_costs = {
+            name: Placement(problem, p.assignment).communication_cost()
+            for name, p in placements.items()
+        }
+        engine_bytes = {
+            name: DistributedSearchEngine(index, p).execute_log(log).total_bytes
+            for name, p in placements.items()
+        }
+        model_order = sorted(model_costs, key=model_costs.get)
+        engine_order = sorted(engine_bytes, key=engine_bytes.get)
+        assert model_order == engine_order
+        assert engine_bytes["lprr"] < engine_bytes["hash"]
+
+    def test_engine_and_cluster_agree_on_locality(self, pipeline):
+        """A query whose keywords share a node is free in both the
+        engine and the cluster abstraction."""
+        _, index, _, _, problem = pipeline
+        placement = Placement(problem, np.zeros(problem.num_objects, dtype=np.int64))
+        engine = DistributedSearchEngine(index, placement)
+        cluster = Cluster(placement)
+        words = list(problem.object_ids[:3])
+        assert engine.execute(words).bytes_transferred == 0
+        assert cluster.execute_intersection(words).bytes_transferred == 0
+
+    def test_cluster_intersection_upper_bounds_engine(self, pipeline):
+        """The cluster's conservative model (running result bounded by
+        the smallest object) never undercounts the engine's real
+        shrinking-intersection traffic."""
+        _, index, _, log, problem = pipeline
+        placement = random_hash_placement(problem)
+        engine = DistributedSearchEngine(index, placement)
+        cluster = Cluster(placement)
+        vocabulary = set(problem.object_ids)
+        for query in list(log)[:200]:
+            words = [w for w in dict.fromkeys(query.keywords) if w in vocabulary]
+            if len(words) < 2:
+                continue
+            engine_bytes = engine.execute(words).bytes_transferred
+            cluster_bytes = cluster.execute_intersection(words).bytes_transferred
+            assert engine_bytes <= cluster_bytes + 1e-9
+
+    def test_exact_confirms_lprr_on_tiny_subproblem(self, pipeline):
+        _, _, _, _, problem = pipeline
+        from repro.core.importance import top_important
+
+        tiny_ids = top_important(problem, 8)
+        caps = np.full(problem.num_nodes, problem.total_size)
+        tiny = problem.subproblem(tiny_ids, capacities=caps)
+        exact = solve_exact(tiny)
+        lprr = LPRRPlanner(capacity_factor=None, rounding_trials=40, seed=0).plan(tiny)
+        assert lprr.cost >= exact.cost - 1e-9
+        assert lprr.cost <= exact.cost * 1.5 + 1e-6
+
+    def test_drift_replan_migrate_cycle(self, pipeline):
+        _, index, model, log, problem = pipeline
+        placement1 = LPRRPlanner(seed=0).plan(problem).placement
+
+        drifted = model.drifted(0.3, seed=12)
+        log2 = drifted.generate(3000, rng=12)
+        problem2 = build_placement_problem(index, log2, 4, min_support=2)
+
+        # Carry period-1 decisions onto period-2's problem.
+        carried = {}
+        p1_map = placement1.to_mapping()
+        for obj in problem2.object_ids:
+            carried[obj] = p1_map.get(obj, 0)
+        stale = Placement.from_mapping(problem2, carried)
+        fresh = LPRRPlanner(seed=0).plan(problem2).placement
+        plan = select_migrations(stale, fresh, budget_bytes=problem2.total_size / 10)
+
+        assert plan.cost_after <= plan.cost_before + 1e-9
+        final = plan.apply(stale)
+        assert final.communication_cost() == pytest.approx(plan.cost_after)
+
+    def test_replication_reduces_engine_traffic(self, pipeline):
+        _, index, _, log, problem = pipeline
+        capped = problem.with_capacities(problem.total_size)
+        single = greedy_placement(capped)
+        engine1 = DistributedSearchEngine(index, single)
+
+        replicated = greedy_replicated_placement(
+            capped, replicas=2, primary_strategy=lambda p: greedy_placement(p)
+        )
+        engine2 = ReplicatedSearchEngine(index, replicated)
+        assert (
+            engine2.execute_log(log).total_bytes
+            <= engine1.execute_log(log).total_bytes
+        )
+
+    def test_strategy_registry_round_trip(self, pipeline):
+        from repro.core.strategies import available_strategies, get_strategy
+
+        _, _, _, _, problem = pipeline
+        capped = problem.with_capacities(problem.total_size)
+        for name in available_strategies():
+            placement = get_strategy(name)(capped)
+            assert placement.assignment.shape == (problem.num_objects,)
+
+    def test_two_smallest_problem_weights_bound_engine_pairs(self, pipeline):
+        """Every modeled pair weight is realizable: r * w equals the
+        observed per-query shipped bytes for two-keyword queries."""
+        _, index, _, log, problem = pipeline
+        # Find a modeled pair and check w equals min index size.
+        pair = next(problem.pairs())
+        a = problem.object_ids[pair.i]
+        b = problem.object_ids[pair.j]
+        assert pair.cost == min(index.size_bytes(a), index.size_bytes(b))

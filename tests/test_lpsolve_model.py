@@ -1,0 +1,203 @@
+"""Tests for the LP modelling layer (repro.lpsolve.model)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SolverError
+from repro.lpsolve import LinearProgram, LPStatus, Sense
+from repro.lpsolve.model import lp_from_arrays
+
+
+class TestVariableCreation:
+    def test_variables_get_sequential_indices(self):
+        lp = LinearProgram()
+        a = lp.add_variable("a")
+        b = lp.add_variable("b")
+        assert (a.index, b.index) == (0, 1)
+
+    def test_auto_generated_names(self):
+        lp = LinearProgram()
+        v = lp.add_variable()
+        assert v.name == "x0"
+        assert lp.variable_name(0) == "x0"
+
+    def test_add_variables_batch(self):
+        lp = LinearProgram()
+        batch = lp.add_variables(5, prefix="y", objective=2.0)
+        assert len(batch) == 5
+        assert lp.num_variables == 5
+        assert np.allclose(lp.objective_vector(), 2.0)
+
+    def test_default_bounds_are_nonnegative(self):
+        lp = LinearProgram()
+        v = lp.add_variable()
+        assert v.lower == 0.0
+        assert v.upper == float("inf")
+
+    def test_invalid_bounds_rejected(self):
+        lp = LinearProgram()
+        with pytest.raises(ValueError, match="lower"):
+            lp.add_variable(lower=2.0, upper=1.0)
+
+    def test_variable_usable_as_index(self):
+        lp = LinearProgram()
+        v = lp.add_variable()
+        values = np.array([42.0])
+        assert values[v] == 42.0
+
+    def test_set_objective_overwrites(self):
+        lp = LinearProgram()
+        v = lp.add_variable(objective=1.0)
+        lp.set_objective(v, 3.0)
+        assert lp.objective_vector()[0] == 3.0
+
+
+class TestConstraintConstruction:
+    def test_constraint_counts(self):
+        lp = LinearProgram()
+        x = lp.add_variable()
+        y = lp.add_variable()
+        lp.add_constraint([(x, 1.0), (y, 2.0)], Sense.LE, 5.0)
+        lp.add_constraint([(x, 1.0)], Sense.EQ, 1.0)
+        assert lp.num_constraints == 2
+        assert lp.num_nonzeros == 3
+
+    def test_unknown_variable_rejected(self):
+        lp = LinearProgram()
+        lp.add_variable()
+        with pytest.raises(ValueError, match="unknown variable"):
+            lp.add_constraint([(7, 1.0)], Sense.LE, 0.0)
+
+    def test_duplicate_terms_sum(self):
+        lp = LinearProgram()
+        x = lp.add_variable(objective=1.0)
+        lp.add_constraint([(x, 1.0), (x, 1.0)], Sense.GE, 4.0)
+        result = lp.solve()
+        assert result.is_optimal
+        assert result.x[0] == pytest.approx(2.0)
+
+    def test_split_by_sense_negates_ge(self):
+        lp = LinearProgram()
+        x = lp.add_variable()
+        lp.add_constraint([(x, 2.0)], Sense.GE, 4.0)
+        a_ub, b_ub, a_eq, b_eq = lp.split_by_sense()
+        assert a_ub.toarray().tolist() == [[-2.0]]
+        assert b_ub.tolist() == [-4.0]
+        assert a_eq.shape[0] == 0 and b_eq.size == 0
+
+    def test_repr_mentions_sizes(self):
+        lp = LinearProgram("demo")
+        lp.add_variable()
+        assert "demo" in repr(lp)
+        assert "variables=1" in repr(lp)
+
+
+class TestSolving:
+    def test_simple_minimum(self):
+        lp = LinearProgram()
+        x = lp.add_variable(objective=1.0)
+        y = lp.add_variable(objective=2.0)
+        lp.add_constraint([(x, 1.0), (y, 1.0)], Sense.GE, 3.0)
+        result = lp.solve()
+        assert result.is_optimal
+        assert result.objective == pytest.approx(3.0)
+        assert result.x[0] == pytest.approx(3.0)
+
+    def test_equality_constraint(self):
+        lp = LinearProgram()
+        x = lp.add_variable(objective=1.0, upper=10.0)
+        lp.add_constraint([(x, 1.0)], Sense.EQ, 7.0)
+        result = lp.solve()
+        assert result.objective == pytest.approx(7.0)
+
+    def test_infeasible_detected(self):
+        lp = LinearProgram()
+        x = lp.add_variable(upper=1.0)
+        lp.add_constraint([(x, 1.0)], Sense.GE, 2.0)
+        assert lp.solve().status is LPStatus.INFEASIBLE
+
+    def test_unbounded_detected(self):
+        lp = LinearProgram()
+        lp.add_variable(objective=-1.0)
+        assert lp.solve().status is LPStatus.UNBOUNDED
+
+    def test_empty_program_is_trivially_optimal(self):
+        result = LinearProgram().solve()
+        assert result.is_optimal
+        assert result.objective == 0.0
+
+    def test_unknown_backend_raises(self):
+        lp = LinearProgram()
+        lp.add_variable()
+        with pytest.raises(SolverError, match="unknown LP backend"):
+            lp.solve(backend="nope")
+
+    def test_result_value_accessor(self):
+        lp = LinearProgram()
+        x = lp.add_variable(objective=1.0)
+        lp.add_constraint([(x, 1.0)], Sense.GE, 1.5)
+        result = lp.solve()
+        assert result.value(x.index) == pytest.approx(1.5)
+
+    def test_value_raises_without_solution(self):
+        lp = LinearProgram()
+        x = lp.add_variable(upper=0.0)
+        lp.add_constraint([(x, 1.0)], Sense.GE, 1.0)
+        result = lp.solve()
+        with pytest.raises(ValueError, match="no solution"):
+            result.value(0)
+
+
+class TestLpFromArrays:
+    def test_round_trip(self):
+        lp = lp_from_arrays(
+            objective=[1.0, 1.0],
+            a_ub=np.array([[-1.0, -1.0]]),
+            b_ub=[-4.0],
+        )
+        result = lp.solve()
+        assert result.objective == pytest.approx(4.0)
+
+    def test_missing_rhs_rejected(self):
+        with pytest.raises(ValueError, match="b_ub"):
+            lp_from_arrays([1.0], a_ub=np.array([[1.0]]))
+
+
+class TestIntrospection:
+    def test_constraint_names(self):
+        lp = LinearProgram()
+        x = lp.add_variable()
+        named = lp.add_constraint([(x, 1.0)], Sense.LE, 1.0, name="cap")
+        auto = lp.add_constraint([(x, 1.0)], Sense.GE, 0.0)
+        assert lp.constraint_name(named.index) == "cap"
+        assert lp.constraint_name(auto.index) == f"c{auto.index}"
+        assert lp.constraint_index("cap") == named.index
+
+    def test_unknown_constraint_name(self):
+        lp = LinearProgram()
+        with pytest.raises(KeyError, match="unknown constraint"):
+            lp.constraint_index("ghost")
+
+    def test_sense_order_blocks(self):
+        lp = LinearProgram()
+        x = lp.add_variable()
+        le = lp.add_constraint([(x, 1.0)], Sense.LE, 1.0)
+        eq = lp.add_constraint([(x, 1.0)], Sense.EQ, 0.5)
+        ge = lp.add_constraint([(x, 1.0)], Sense.GE, 0.0)
+        ub_rows, eq_rows = lp.sense_order()
+        assert ub_rows.tolist() == [le.index, ge.index]
+        assert eq_rows.tolist() == [eq.index]
+
+    def test_sense_order_matches_split(self):
+        import numpy as np
+
+        lp = LinearProgram()
+        x = lp.add_variable()
+        y = lp.add_variable()
+        lp.add_constraint([(x, 2.0)], Sense.GE, 1.0)
+        lp.add_constraint([(y, 3.0)], Sense.LE, 5.0)
+        a_ub, b_ub, _, _ = lp.split_by_sense()
+        ub_rows, _ = lp.sense_order()
+        # Row 0 of the block is the LE row (3.0 coefficient on y).
+        assert a_ub.toarray()[0].tolist() == [0.0, 3.0]
+        assert ub_rows[0] == 1  # original index of the LE row

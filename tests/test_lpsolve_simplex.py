@@ -1,0 +1,129 @@
+"""Tests for the self-contained simplex backend, cross-checked vs HiGHS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SolverError
+from repro.lpsolve import LinearProgram, LPStatus, Sense, solve_simplex
+
+
+def make_lp(objective, rows):
+    """Helper: build an LP with default-bounded variables."""
+    lp = LinearProgram()
+    variables = [lp.add_variable(objective=c) for c in objective]
+    for coeffs, sense, rhs in rows:
+        lp.add_constraint(list(zip(variables, coeffs)), sense, rhs)
+    return lp
+
+
+class TestSimplexBasics:
+    def test_matches_known_optimum(self):
+        # min x + 2y s.t. x + y >= 3, y >= 1  ->  x=2, y=1, obj=4.
+        lp = make_lp([1.0, 2.0], [([1, 1], Sense.GE, 3.0), ([0, 1], Sense.GE, 1.0)])
+        result = solve_simplex(lp)
+        assert result.is_optimal
+        assert result.objective == pytest.approx(4.0)
+        assert result.x == pytest.approx([2.0, 1.0])
+
+    def test_equality_constraints(self):
+        lp = make_lp([1.0, 1.0], [([1, 1], Sense.EQ, 5.0), ([1, -1], Sense.EQ, 1.0)])
+        result = solve_simplex(lp)
+        assert result.objective == pytest.approx(5.0)
+        assert result.x == pytest.approx([3.0, 2.0])
+
+    def test_upper_bounds_respected(self):
+        lp = LinearProgram()
+        x = lp.add_variable(objective=-1.0, upper=4.0)
+        result = solve_simplex(lp)
+        assert result.objective == pytest.approx(-4.0)
+        assert result.x[0] == pytest.approx(4.0)
+
+    def test_shifted_lower_bounds(self):
+        lp = LinearProgram()
+        x = lp.add_variable(objective=1.0, lower=-3.0, upper=10.0)
+        result = solve_simplex(lp)
+        assert result.objective == pytest.approx(-3.0)
+
+    def test_infeasible(self):
+        lp = make_lp([1.0], [([1], Sense.LE, 1.0), ([1], Sense.GE, 2.0)])
+        assert solve_simplex(lp).status is LPStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        lp = make_lp([-1.0], [])
+        assert solve_simplex(lp).status is LPStatus.UNBOUNDED
+
+    def test_empty_program(self):
+        assert solve_simplex(LinearProgram()).is_optimal
+
+    def test_infinite_lower_bound_rejected(self):
+        lp = LinearProgram()
+        lp.add_variable(lower=float("-inf"))
+        with pytest.raises(SolverError, match="finite lower bounds"):
+            solve_simplex(lp)
+
+    def test_negative_rhs_handled(self):
+        # -x <= -2  <=>  x >= 2.
+        lp = make_lp([1.0], [([-1.0], Sense.LE, -2.0)])
+        result = solve_simplex(lp)
+        assert result.objective == pytest.approx(2.0)
+
+    def test_degenerate_program_terminates(self):
+        # Multiple redundant constraints at the same vertex.
+        lp = make_lp(
+            [1.0, 1.0],
+            [
+                ([1, 1], Sense.GE, 2.0),
+                ([2, 2], Sense.GE, 4.0),
+                ([1, 0], Sense.GE, 1.0),
+                ([1, 0], Sense.LE, 1.0),
+            ],
+        )
+        result = solve_simplex(lp)
+        assert result.objective == pytest.approx(2.0)
+
+
+class TestSimplexAgreesWithHighs:
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_random_programs_agree(self, data):
+        """On random feasible-or-not LPs both backends agree on status
+        and (when optimal) on the objective value."""
+        rng_seed = data.draw(st.integers(0, 2**31 - 1))
+        rng = np.random.default_rng(rng_seed)
+        n = data.draw(st.integers(1, 5))
+        m = data.draw(st.integers(1, 6))
+        objective = rng.uniform(0.1, 2.0, n)  # positive -> bounded below
+        lp = LinearProgram()
+        variables = [lp.add_variable(objective=c, upper=10.0) for c in objective]
+        for _ in range(m):
+            coeffs = rng.uniform(-1.0, 1.0, n)
+            sense = (Sense.LE, Sense.GE, Sense.EQ)[int(rng.integers(3))]
+            rhs = float(rng.uniform(-2.0, 4.0))
+            lp.add_constraint(list(zip(variables, coeffs)), sense, rhs)
+
+        simplex = solve_simplex(lp)
+        highs = lp.solve(backend="highs")
+        assert simplex.status == highs.status
+        if highs.is_optimal:
+            assert simplex.objective == pytest.approx(highs.objective, abs=1e-6)
+
+    def test_moderate_size_agreement(self):
+        rng = np.random.default_rng(7)
+        n = 20
+        lp = LinearProgram()
+        variables = [
+            lp.add_variable(objective=float(c), upper=5.0)
+            for c in rng.uniform(0.5, 3.0, n)
+        ]
+        for _ in range(15):
+            support = rng.choice(n, size=4, replace=False)
+            lp.add_constraint(
+                [(variables[i], float(rng.uniform(0.1, 1.0))) for i in support],
+                Sense.GE,
+                float(rng.uniform(0.5, 2.0)),
+            )
+        simplex = solve_simplex(lp)
+        highs = lp.solve()
+        assert simplex.objective == pytest.approx(highs.objective, abs=1e-6)

@@ -1,0 +1,177 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Each property here spans modules: random problems flow through
+strategies, rounding, repair, and migration, and structural invariants
+must hold for every generated instance.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.greedy import greedy_placement
+from repro.core.hashing import random_hash_placement
+from repro.core.importance import importance_ranking, top_important
+from repro.core.lp import solve_placement_lp
+from repro.core.migration import diff_placements, select_migrations
+from repro.core.partial import scoped_placement
+from repro.core.placement import Placement
+from repro.core.problem import PlacementProblem
+from repro.core.repair import repair_capacity
+from repro.core.rounding import round_fractional
+
+
+@st.composite
+def problems(draw, max_objects=10, max_nodes=4, capacitated=True):
+    """Random CCA instances with feasible capacities."""
+    t = draw(st.integers(2, max_objects))
+    n = draw(st.integers(2, max_nodes))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    sizes = rng.uniform(0.5, 3.0, t)
+    objects = {f"o{i}": float(sizes[i]) for i in range(t)}
+    if capacitated:
+        slack = draw(st.floats(1.3, 3.0))
+        capacity = float(sizes.sum() / n * slack + sizes.max())
+        nodes = {k: capacity for k in range(n)}
+    else:
+        nodes = n
+    correlations = {}
+    for i in range(t):
+        for j in range(i + 1, t):
+            if rng.random() < 0.5:
+                correlations[(f"o{i}", f"o{j}")] = float(rng.uniform(0.01, 1.0))
+    return PlacementProblem.build(objects, nodes, correlations)
+
+
+class TestStrategyInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(problem=problems())
+    def test_every_strategy_is_total(self, problem):
+        for placement in (
+            random_hash_placement(problem),
+            greedy_placement(problem),
+        ):
+            assert placement.assignment.shape == (problem.num_objects,)
+            assert np.all(placement.assignment >= 0)
+            assert np.all(placement.assignment < problem.num_nodes)
+
+    @settings(max_examples=30, deadline=None)
+    @given(problem=problems())
+    def test_cost_bounded_by_total_weight(self, problem):
+        for placement in (
+            random_hash_placement(problem),
+            greedy_placement(problem),
+        ):
+            cost = placement.communication_cost()
+            assert -1e-12 <= cost <= problem.total_pair_weight + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(problem=problems(), scope=st.integers(0, 10))
+    def test_scoped_placement_total_and_deterministic(self, problem, scope):
+        a = scoped_placement(problem, scope, greedy_placement)
+        b = scoped_placement(problem, scope, greedy_placement)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    @settings(max_examples=30, deadline=None)
+    @given(problem=problems())
+    def test_importance_ranking_is_permutation(self, problem):
+        ranking = importance_ranking(problem)
+        assert sorted(map(str, ranking)) == sorted(map(str, problem.object_ids))
+        assert top_important(problem, 3) == ranking[:3]
+
+
+class TestLPAndRounding:
+    @settings(max_examples=20, deadline=None)
+    @given(problem=problems(max_objects=7, max_nodes=3))
+    def test_lp_bound_sound_and_rounding_total(self, problem):
+        fractional = solve_placement_lp(problem)
+        assert fractional.lower_bound >= -1e-9
+        assert np.allclose(fractional.fractions.sum(axis=1), 1.0, atol=1e-6)
+        placement, _ = round_fractional(fractional, rng=0)
+        assert placement.assignment.shape == (problem.num_objects,)
+        # Any rounded placement costs at least the LP bound.
+        assert placement.communication_cost() >= fractional.lower_bound - 1e-6
+
+    @settings(max_examples=15, deadline=None)
+    @given(problem=problems(max_objects=6, max_nodes=3))
+    def test_expected_loads_within_capacity(self, problem):
+        fractional = solve_placement_lp(problem)
+        assert np.all(
+            fractional.expected_node_loads() <= problem.capacities + 1e-6
+        )
+
+
+class TestRepairProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(problem=problems(), seed=st.integers(0, 1000))
+    def test_repair_yields_feasible_or_noop(self, problem, seed):
+        rng = np.random.default_rng(seed)
+        assignment = rng.integers(0, problem.num_nodes, problem.num_objects)
+        placement = Placement(problem, assignment)
+        repaired = repair_capacity(placement, tolerance=0.0)
+        assert not repaired.capacity_violations()
+
+    @settings(max_examples=30, deadline=None)
+    @given(problem=problems(), seed=st.integers(0, 1000))
+    def test_repair_idempotent(self, problem, seed):
+        rng = np.random.default_rng(seed)
+        assignment = rng.integers(0, problem.num_nodes, problem.num_objects)
+        repaired = repair_capacity(Placement(problem, assignment))
+        again = repair_capacity(repaired)
+        assert again is repaired
+
+
+class TestMigrationProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(problem=problems(capacitated=False), seed=st.integers(0, 1000))
+    def test_diff_apply_reaches_target(self, problem, seed):
+        rng = np.random.default_rng(seed)
+        current = Placement(
+            problem, rng.integers(0, problem.num_nodes, problem.num_objects)
+        )
+        target = Placement(
+            problem, rng.integers(0, problem.num_nodes, problem.num_objects)
+        )
+        plan = diff_placements(current, target)
+        assert plan.apply(current) == target
+        assert plan.bytes_moved == pytest.approx(
+            sum(m.size for m in plan.migrations)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        problem=problems(capacitated=False),
+        seed=st.integers(0, 1000),
+        budget_factor=st.floats(0.0, 1.0),
+    )
+    def test_selection_never_increases_cost(self, problem, seed, budget_factor):
+        rng = np.random.default_rng(seed)
+        current = Placement(
+            problem, rng.integers(0, problem.num_nodes, problem.num_objects)
+        )
+        target = Placement(
+            problem, rng.integers(0, problem.num_nodes, problem.num_objects)
+        )
+        budget = problem.total_size * budget_factor
+        plan = select_migrations(current, target, budget_bytes=budget)
+        assert plan.bytes_moved <= budget + 1e-9
+        assert plan.cost_after <= plan.cost_before + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(problem=problems(capacitated=False), seed=st.integers(0, 1000))
+    def test_unbudgeted_selection_at_most_full_plan_bytes(self, problem, seed):
+        rng = np.random.default_rng(seed)
+        current = Placement(
+            problem, rng.integers(0, problem.num_nodes, problem.num_objects)
+        )
+        target = Placement(
+            problem, rng.integers(0, problem.num_nodes, problem.num_objects)
+        )
+        full = diff_placements(current, target)
+        selected = select_migrations(current, target)
+        assert selected.bytes_moved <= full.bytes_moved + 1e-9
+        # Selection skips harmful moves, so it ends at least as cheap
+        # as the better of (stay, go fully).
+        assert selected.cost_after <= max(full.cost_after, full.cost_before) + 1e-9

@@ -1,0 +1,105 @@
+"""Scale smoke tests: the vectorized paths stay fast at real sizes.
+
+These are correctness-at-scale checks, not benchmarks — they build a
+problem an order of magnitude beyond the bench defaults and assert the
+core evaluation paths complete quickly and consistently.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.greedy import greedy_placement
+from repro.core.hashing import random_hash_placement
+from repro.core.importance import importance_ranking, top_important
+from repro.core.partial import scoped_placement
+from repro.core.placement import Placement
+from repro.core.problem import PlacementProblem
+
+
+@pytest.fixture(scope="module")
+def big_problem():
+    rng = np.random.default_rng(0)
+    t = 20_000
+    object_ids = [f"o{i}" for i in range(t)]
+    sizes = rng.pareto(1.5, t) + 0.5
+    # ~60k random pairs over a sparse graph.
+    m = 60_000
+    left = rng.integers(0, t, m)
+    right = rng.integers(0, t, m)
+    keep = left != right
+    pairs = np.stack(
+        [np.minimum(left[keep], right[keep]), np.maximum(left[keep], right[keep])],
+        axis=1,
+    )
+    # Dedupe.
+    keys = pairs[:, 0] * t + pairs[:, 1]
+    _, unique_idx = np.unique(keys, return_index=True)
+    pairs = pairs[unique_idx]
+    correlations = rng.uniform(0.001, 0.1, pairs.shape[0])
+    costs = np.minimum(sizes[pairs[:, 0]], sizes[pairs[:, 1]])
+    return PlacementProblem(
+        object_ids,
+        sizes,
+        list(range(20)),
+        np.full(20, np.inf),
+        pairs,
+        correlations,
+        costs,
+    )
+
+
+class TestScale:
+    def test_cost_evaluation_fast(self, big_problem):
+        placement = random_hash_placement(big_problem)
+        start = time.perf_counter()
+        for _ in range(10):
+            placement.communication_cost()
+        elapsed = time.perf_counter() - start
+        assert elapsed < 2.0  # vectorized: ~ms per evaluation
+
+    def test_importance_ranking_covers_everything(self, big_problem):
+        start = time.perf_counter()
+        ranking = importance_ranking(big_problem)
+        elapsed = time.perf_counter() - start
+        assert len(ranking) == big_problem.num_objects
+        assert elapsed < 10.0
+
+    def test_subproblem_extraction(self, big_problem):
+        scoped = top_important(big_problem, 2000)
+        start = time.perf_counter()
+        sub = big_problem.subproblem(scoped)
+        elapsed = time.perf_counter() - start
+        assert sub.num_objects == 2000
+        assert elapsed < 5.0
+
+    def test_greedy_at_scale(self, big_problem):
+        capped = big_problem.with_capacities(
+            2.0 * big_problem.total_size / big_problem.num_nodes
+        )
+        start = time.perf_counter()
+        placement = greedy_placement(capped)
+        elapsed = time.perf_counter() - start
+        assert placement.assignment.shape == (big_problem.num_objects,)
+        assert elapsed < 30.0
+
+    def test_scoped_placement_at_scale(self, big_problem):
+        start = time.perf_counter()
+        placement = scoped_placement(big_problem, 1500, greedy_placement)
+        elapsed = time.perf_counter() - start
+        assert placement.communication_cost() <= random_hash_placement(
+            big_problem
+        ).communication_cost()
+        assert elapsed < 30.0
+
+    def test_loads_and_violations_vectorized(self, big_problem):
+        placement = Placement(
+            big_problem,
+            np.random.default_rng(1).integers(
+                0, big_problem.num_nodes, big_problem.num_objects
+            ),
+        )
+        loads = placement.node_loads()
+        assert loads.shape == (20,)
+        assert loads.sum() == pytest.approx(big_problem.total_size)

@@ -1,0 +1,129 @@
+"""Tests for documents and inverted indices (repro.search)."""
+
+import numpy as np
+import pytest
+
+from repro.search.documents import Corpus, Document
+from repro.search.index import ITEM_BYTES, InvertedIndex, page_id
+
+
+@pytest.fixture
+def corpus():
+    return Corpus(
+        [
+            Document("url/1", frozenset({"car", "dealer", "price"})),
+            Document("url/2", frozenset({"car", "software"})),
+            Document("url/3", frozenset({"software", "download"})),
+            Document("url/4", frozenset({"car", "dealer"})),
+        ]
+    )
+
+
+@pytest.fixture
+def index(corpus):
+    return InvertedIndex.from_corpus(corpus)
+
+
+class TestDocuments:
+    def test_from_text_tokenizes(self):
+        doc = Document.from_text("u", "The Quick Fox quick")
+        assert doc.words == frozenset({"quick", "fox"})
+
+    def test_contains(self):
+        doc = Document("u", frozenset({"a"}))
+        assert doc.contains("a") and not doc.contains("b")
+
+    def test_corpus_membership(self, corpus):
+        assert "url/1" in corpus
+        assert "url/9" not in corpus
+        assert len(corpus) == 4
+
+    def test_corpus_replace(self, corpus):
+        corpus.add(Document("url/1", frozenset({"new"})))
+        assert corpus.get("url/1").words == frozenset({"new"})
+        assert len(corpus) == 4
+
+    def test_vocabulary(self, corpus):
+        assert corpus.vocabulary == {"car", "dealer", "price", "software", "download"}
+
+    def test_document_frequency(self, corpus):
+        assert corpus.document_frequency("car") == 3
+        assert corpus.document_frequency("download") == 1
+        assert corpus.document_frequency("missing") == 0
+
+    def test_average_distinct_words(self, corpus):
+        assert corpus.average_distinct_words() == pytest.approx((3 + 2 + 2 + 2) / 4)
+
+    def test_empty_corpus_average(self):
+        assert Corpus().average_distinct_words() == 0.0
+
+
+class TestPageId:
+    def test_deterministic(self):
+        assert page_id("http://a.example/") == page_id("http://a.example/")
+
+    def test_eight_bytes(self):
+        assert 0 <= page_id("anything") < 2**64
+
+    def test_distinct_urls_distinct_ids(self):
+        ids = {page_id(f"url/{i}") for i in range(1000)}
+        assert len(ids) == 1000  # 64-bit space: collisions essentially impossible
+
+
+class TestInvertedIndex:
+    def test_document_frequencies(self, index):
+        assert index.document_frequency("car") == 3
+        assert index.document_frequency("download") == 1
+        assert index.document_frequency("missing") == 0
+
+    def test_size_accounting(self, index):
+        assert index.size_bytes("car") == 3 * ITEM_BYTES
+        sizes = index.sizes_bytes()
+        assert sizes["dealer"] == 2 * ITEM_BYTES
+        assert index.total_bytes == sum(sizes.values())
+
+    def test_postings_sorted_unique(self, index):
+        postings = index.postings("car")
+        assert postings.dtype == np.uint64
+        assert np.all(np.diff(postings.astype(np.int64)) > 0)
+
+    def test_postings_match_page_ids(self, index):
+        expected = sorted(page_id(u) for u in ("url/1", "url/2", "url/4"))
+        assert index.postings("car").tolist() == expected
+
+    def test_vocabulary_sorted(self, index):
+        assert index.vocabulary == sorted(index.vocabulary)
+        assert "car" in index
+
+    def test_intersect_two_words(self, index):
+        result = index.intersect(["car", "dealer"])
+        assert sorted(result.tolist()) == sorted(page_id(u) for u in ("url/1", "url/4"))
+
+    def test_intersect_three_words(self, index):
+        result = index.intersect(["car", "dealer", "price"])
+        assert result.tolist() == [page_id("url/1")]
+
+    def test_intersect_disjoint(self, index):
+        assert index.intersect(["price", "download"]).size == 0
+
+    def test_intersect_unknown_word_empty(self, index):
+        assert index.intersect(["car", "zzz"]).size == 0
+
+    def test_intersect_single_word(self, index):
+        assert index.intersect(["download"]).tolist() == [page_id("url/3")]
+
+    def test_intersect_empty_query(self, index):
+        assert index.intersect([]).size == 0
+
+    def test_union(self, index):
+        result = index.union(["price", "download"])
+        assert sorted(result.tolist()) == sorted(page_id(u) for u in ("url/1", "url/3"))
+
+    def test_explicit_postings_constructor(self):
+        idx = InvertedIndex({"w": np.array([5, 3, 5], dtype=np.uint64)})
+        assert idx.postings("w").tolist() == [3, 5]
+
+    def test_duplicate_words_in_query_deduped(self, index):
+        a = index.intersect(["car", "car", "dealer"])
+        b = index.intersect(["car", "dealer"])
+        assert a.tolist() == b.tolist()

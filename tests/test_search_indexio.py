@@ -1,0 +1,74 @@
+"""Tests for index persistence (repro.search.indexio)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TraceFormatError
+from repro.search.documents import Corpus, Document
+from repro.search.index import InvertedIndex
+from repro.search.indexio import load_index, save_index
+
+
+@pytest.fixture
+def index():
+    docs = [
+        Document("d1", frozenset({"car", "dealer"})),
+        Document("d2", frozenset({"car", "software"})),
+        Document("d3", frozenset({"söftwäre", "download"})),  # unicode keyword
+    ]
+    return InvertedIndex.from_corpus(Corpus(docs))
+
+
+class TestRoundTrip:
+    def test_vocabulary_preserved(self, index, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        restored = load_index(path)
+        assert restored.vocabulary == index.vocabulary
+
+    def test_postings_identical(self, index, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        restored = load_index(path)
+        for word in index.vocabulary:
+            assert np.array_equal(restored.postings(word), index.postings(word))
+
+    def test_sizes_and_queries_survive(self, index, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        restored = load_index(path)
+        assert restored.total_bytes == index.total_bytes
+        assert np.array_equal(
+            restored.intersect(["car", "dealer"]),
+            index.intersect(["car", "dealer"]),
+        )
+
+    def test_empty_index(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_index(InvertedIndex(), path)
+        assert len(load_index(path)) == 0
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="cannot read"):
+            load_index(tmp_path / "missing.npz")
+
+    def test_foreign_archive_rejected(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(TraceFormatError, match="not a repro index"):
+            load_index(path)
+
+    def test_version_mismatch_rejected(self, tmp_path, index):
+        from repro.search import indexio
+
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        # Tamper with the version marker.
+        with np.load(path) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        arrays[indexio.FORMAT_KEY] = np.array([99], dtype=np.int64)
+        np.savez(path, **arrays)
+        with pytest.raises(TraceFormatError, match="v99 unsupported"):
+            load_index(path)

@@ -1,0 +1,111 @@
+"""Tests for the query-latency simulator (repro.search.simulation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.placement import Placement
+from repro.search.documents import Corpus, Document
+from repro.search.engine import build_placement_problem
+from repro.search.index import InvertedIndex
+from repro.search.query import QueryLog
+from repro.search.simulation import LatencyReport, TimingModel, simulate_latencies
+
+
+@pytest.fixture
+def setup():
+    docs = [
+        Document(f"d{i}", frozenset({"alpha", "beta"} if i < 4 else {"alpha", "gamma"}))
+        for i in range(8)
+    ]
+    corpus = Corpus(docs)
+    index = InvertedIndex.from_corpus(corpus)
+    log = QueryLog([("alpha", "beta")] * 20)
+    problem = build_placement_problem(index, log, {0: float("inf"), 1: float("inf")})
+    return index, log, problem
+
+
+def colocated(problem):
+    return Placement(problem, np.zeros(problem.num_objects, dtype=np.int64))
+
+
+def split(problem):
+    assignment = np.zeros(problem.num_objects, dtype=np.int64)
+    assignment[problem.object_index("beta")] = 1
+    return Placement(problem, assignment)
+
+
+class TestTimingModel:
+    def test_transfer_time_components(self):
+        timing = TimingModel(bandwidth_bytes_per_s=100.0, link_latency_s=1.0)
+        assert timing.transfer_time(200) == pytest.approx(3.0)
+
+    def test_scan_time(self):
+        timing = TimingModel(scan_bytes_per_s=50.0)
+        assert timing.scan_time(100) == pytest.approx(2.0)
+
+
+class TestSimulation:
+    def test_report_shape(self, setup):
+        index, log, problem = setup
+        report = simulate_latencies(index, colocated(problem), log, seed=1)
+        assert report.latencies_s.shape == (20,)
+        assert np.all(report.latencies_s >= 0)
+        assert report.makespan_s > 0
+
+    def test_colocated_faster_than_split(self, setup):
+        index, log, problem = setup
+        local = simulate_latencies(index, colocated(problem), log, seed=1)
+        remote = simulate_latencies(index, split(problem), log, seed=1)
+        assert remote.mean_s > local.mean_s
+
+    def test_split_placement_uses_uplinks(self, setup):
+        index, log, problem = setup
+        local = simulate_latencies(index, colocated(problem), log, seed=1)
+        remote = simulate_latencies(index, split(problem), log, seed=1)
+        assert local.uplink_busy_s.sum() == 0.0
+        assert remote.uplink_busy_s.sum() > 0.0
+
+    def test_contention_grows_with_load(self, setup):
+        index, log, problem = setup
+        slow_wire = TimingModel(bandwidth_bytes_per_s=1e3, link_latency_s=1e-3)
+        light = simulate_latencies(
+            index, split(problem), log, arrival_rate_qps=1.0, timing=slow_wire, seed=2
+        )
+        heavy = simulate_latencies(
+            index, split(problem), log, arrival_rate_qps=10_000.0, timing=slow_wire, seed=2
+        )
+        assert heavy.mean_s > light.mean_s  # queueing delay appears
+
+    def test_deterministic_under_seed(self, setup):
+        index, log, problem = setup
+        a = simulate_latencies(index, split(problem), log, seed=7)
+        b = simulate_latencies(index, split(problem), log, seed=7)
+        assert np.allclose(a.latencies_s, b.latencies_s)
+
+    def test_percentiles_ordered(self, setup):
+        index, log, problem = setup
+        report = simulate_latencies(index, split(problem), log, seed=1)
+        assert report.percentile_s(50) <= report.percentile_s(95) <= report.percentile_s(99)
+
+    def test_utilization_bounded(self, setup):
+        index, log, problem = setup
+        report = simulate_latencies(index, split(problem), log, seed=1)
+        util = report.uplink_utilization()
+        assert np.all(util >= 0) and np.all(util <= 1 + 1e-9)
+
+    def test_invalid_rate_rejected(self, setup):
+        index, log, problem = setup
+        with pytest.raises(ValueError):
+            simulate_latencies(index, colocated(problem), log, arrival_rate_qps=0)
+
+    def test_empty_report(self):
+        report = LatencyReport(np.empty(0), np.zeros(2), 0.0)
+        assert report.mean_s == 0.0
+        assert report.percentile_s(95) == 0.0
+        assert np.all(report.uplink_utilization() == 0.0)
+
+    def test_unknown_keywords_cost_nothing(self, setup):
+        index, _, problem = setup
+        log = QueryLog([("zzz", "yyy")])
+        report = simulate_latencies(index, colocated(problem), log, seed=0)
+        assert report.latencies_s[0] == pytest.approx(0.0)

@@ -1,0 +1,76 @@
+"""Tests for tokenization and stopwords (repro.search)."""
+
+from repro.search.stopwords import STOPWORDS, is_stopword
+from repro.search.tokenizer import distinct_words, strip_html, tokenize
+
+
+class TestStopwords:
+    def test_common_words_are_stopwords(self):
+        for word in ("the", "and", "of", "is"):
+            assert is_stopword(word)
+
+    def test_case_insensitive(self):
+        assert is_stopword("The")
+        assert is_stopword("AND")
+
+    def test_content_words_are_not(self):
+        for word in ("database", "placement", "keyword"):
+            assert not is_stopword(word)
+
+    def test_list_is_lowercase(self):
+        assert all(w == w.lower() for w in STOPWORDS)
+
+
+class TestStripHtml:
+    def test_removes_tags(self):
+        assert strip_html("<p>hello <b>world</b></p>").split() == ["hello", "world"]
+
+    def test_removes_script_blocks_with_content(self):
+        text = strip_html("<script>var x = 'evil';</script>visible")
+        assert "evil" not in text
+        assert "visible" in text
+
+    def test_removes_style_blocks(self):
+        text = strip_html("<style>.a { color: red }</style>shown")
+        assert "color" not in text
+        assert "shown" in text
+
+    def test_removes_entities(self):
+        assert "amp" not in strip_html("tom &amp; jerry")
+        assert "8217" not in strip_html("it&#8217;s")
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Hello WORLD") == ["hello", "world"]
+
+    def test_removes_stopwords_by_default(self):
+        assert tokenize("the quick brown fox") == ["quick", "brown", "fox"]
+
+    def test_keeps_stopwords_when_asked(self):
+        assert "the" in tokenize("the fox", remove_stopwords=False)
+
+    def test_preserves_order_and_duplicates(self):
+        assert tokenize("red fish blue fish") == ["red", "fish", "blue", "fish"]
+
+    def test_min_length_filter(self):
+        assert tokenize("go to x code", min_length=3, remove_stopwords=False) == ["code"]
+
+    def test_numbers_are_tokens(self):
+        assert tokenize("top 10 lists") == ["top", "10", "lists"]
+
+    def test_apostrophes_kept_inside_words(self):
+        assert tokenize("o'reilly books") == ["o'reilly", "books"]
+
+    def test_html_stripping_integrated(self):
+        tokens = tokenize("<h1>Search Engines</h1>", strip_markup=True)
+        assert tokens == ["search", "engines"]
+
+    def test_punctuation_splits(self):
+        assert tokenize("data-intensive, apps!") == ["data", "intensive", "apps"]
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+
+    def test_distinct_words(self):
+        assert distinct_words("red fish blue fish") == {"red", "fish", "blue"}

@@ -1,0 +1,87 @@
+"""Tests for real-world trace adapters (repro.workloads.adapters)."""
+
+import pytest
+
+from repro.exceptions import TraceFormatError
+from repro.search.query import QueryLog
+from repro.workloads.adapters import load_aol_query_log, split_log_by_fraction
+
+AOL_SAMPLE = (
+    "AnonID\tQuery\tQueryTime\tItemRank\tClickURL\n"
+    "1\tcar dealer\t2006-03-01 07:17:12\t1\thttp://cars.example\n"
+    "1\tsoftware download\t2006-03-01 07:19:04\t\t\n"
+    "2\tThe Matrix\t2006-03-02 11:00:00\t2\thttp://movies.example\n"
+    "2\t-\t2006-03-02 11:00:30\t\t\n"
+    "3\tfree mp3 music download\t2006-03-03 09:12:00\t\t\n"
+)
+
+
+@pytest.fixture
+def aol_file(tmp_path):
+    path = tmp_path / "aol.txt"
+    path.write_text(AOL_SAMPLE)
+    return path
+
+
+class TestAolLoader:
+    def test_parses_queries(self, aol_file):
+        log = load_aol_query_log(aol_file)
+        assert len(log) == 4  # the "-" row has no tokens
+        assert log[0].keywords == ("car", "dealer")
+        assert log[2].keywords == ("the", "matrix")
+
+    def test_header_skipped(self, aol_file):
+        log = load_aol_query_log(aol_file)
+        assert all("anonid" not in q.keywords for q in log)
+
+    def test_max_queries(self, aol_file):
+        log = load_aol_query_log(aol_file, max_queries=2)
+        assert len(log) == 2
+
+    def test_min_keywords_filters(self, aol_file):
+        log = load_aol_query_log(aol_file, min_keywords=2)
+        assert all(len(q) >= 2 for q in log)
+        assert len(log) == 4
+
+    def test_stopword_removal_optional(self, aol_file):
+        kept = load_aol_query_log(aol_file)
+        removed = load_aol_query_log(aol_file, remove_stopwords=True)
+        assert ("the", "matrix") in [q.keywords for q in kept]
+        assert ("matrix",) in [q.keywords for q in removed]
+
+    def test_malformed_row_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("only-one-column\n")
+        with pytest.raises(TraceFormatError, match="tab-separated"):
+            load_aol_query_log(path, skip_header=False)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="cannot read"):
+            load_aol_query_log(tmp_path / "absent.txt")
+
+    def test_invalid_min_keywords(self, aol_file):
+        with pytest.raises(ValueError):
+            load_aol_query_log(aol_file, min_keywords=0)
+
+    def test_feeds_correlation_pipeline(self, aol_file):
+        from repro.core.correlation import cooccurrence_correlations
+
+        log = load_aol_query_log(aol_file)
+        corr = cooccurrence_correlations(log.operations())
+        assert ("car", "dealer") in corr
+
+
+class TestSplit:
+    def test_split_fraction(self):
+        log = QueryLog([(f"w{i}",) for i in range(10)])
+        first, second = split_log_by_fraction(log, 0.3)
+        assert len(first) == 3
+        assert len(second) == 7
+        assert first[0].keywords == ("w0",)
+        assert second[0].keywords == ("w3",)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            split_log_by_fraction(QueryLog(), 0.0)
+        with pytest.raises(ValueError):
+            split_log_by_fraction(QueryLog(), 1.0)

@@ -1,0 +1,106 @@
+"""Tests for timestamped query streams (repro.workloads.stream)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.query_gen import QueryWorkloadModel
+from repro.workloads.stream import (
+    TimedQuery,
+    diurnal_rate,
+    generate_stream,
+    split_stream_by_window,
+)
+
+VOCAB = [f"w{i:03d}" for i in range(100)]
+
+
+@pytest.fixture(scope="module")
+def model():
+    return QueryWorkloadModel(VOCAB, num_topics=10, seed=0)
+
+
+class TestDiurnalRate:
+    def test_peak_at_hour_16(self):
+        peak = diurnal_rate(16 * 3600, base_qps=10.0, peak_factor=2.0)
+        trough = diurnal_rate(4 * 3600, base_qps=10.0, peak_factor=2.0)
+        assert peak == pytest.approx(20.0)
+        assert trough == pytest.approx(5.0)
+
+    def test_geometric_mean_is_base(self):
+        peak = diurnal_rate(16 * 3600, 10.0, 3.0)
+        trough = diurnal_rate(4 * 3600, 10.0, 3.0)
+        assert np.sqrt(peak * trough) == pytest.approx(10.0)
+
+    def test_periodicity(self):
+        assert diurnal_rate(3600, 10.0) == pytest.approx(
+            diurnal_rate(3600 + 24 * 3600, 10.0)
+        )
+
+    def test_flat_with_factor_one(self):
+        for hour in (0, 6, 12, 18):
+            assert diurnal_rate(hour * 3600, 7.0, 1.0) == pytest.approx(7.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_rate(0, 0.0)
+        with pytest.raises(ValueError):
+            diurnal_rate(0, 1.0, 0.5)
+
+
+class TestGenerateStream:
+    def test_times_sorted_and_bounded(self, model):
+        stream = generate_stream(model, duration_s=600, base_qps=5.0, seed=1)
+        times = [tq.time_s for tq in stream]
+        assert times == sorted(times)
+        assert all(0 <= t < 600 for t in times)
+
+    def test_count_tracks_rate(self, model):
+        stream = generate_stream(model, duration_s=3600, base_qps=2.0, seed=2)
+        # Expect ~7200 on average across the diurnal swing; generous band.
+        assert 3000 < len(stream) < 16000
+
+    def test_queries_attached(self, model):
+        stream = generate_stream(model, duration_s=60, base_qps=5.0, seed=3)
+        assert all(isinstance(tq, TimedQuery) for tq in stream)
+        assert all(len(tq.query) >= 1 for tq in stream)
+
+    def test_deterministic(self, model):
+        a = generate_stream(model, duration_s=120, base_qps=3.0, seed=4)
+        b = generate_stream(model, duration_s=120, base_qps=3.0, seed=4)
+        assert [(t.time_s, t.query.keywords) for t in a] == [
+            (t.time_s, t.query.keywords) for t in b
+        ]
+
+    def test_peak_hours_busier(self, model):
+        stream = generate_stream(
+            model, duration_s=24 * 3600, base_qps=1.0, peak_factor=3.0, seed=5
+        )
+        peak = sum(1 for tq in stream if 14 * 3600 <= tq.time_s < 18 * 3600)
+        trough = sum(1 for tq in stream if 2 * 3600 <= tq.time_s < 6 * 3600)
+        assert peak > trough * 1.5
+
+    def test_invalid_duration(self, model):
+        with pytest.raises(ValueError):
+            generate_stream(model, duration_s=0)
+
+
+class TestSplitStream:
+    def test_windows_cover_stream(self, model):
+        stream = generate_stream(model, duration_s=100, base_qps=5.0, seed=6)
+        windows = list(split_stream_by_window(stream, window_s=10.0))
+        assert sum(len(w) for w in windows) == len(stream)
+        for w_index, window in enumerate(windows[:-1]):
+            for tq in window:
+                assert w_index * 10 <= tq.time_s < (w_index + 1) * 10
+
+    def test_empty_middle_windows_emitted(self):
+        stream = [TimedQuery(1.0, None), TimedQuery(25.0, None)]
+        windows = list(split_stream_by_window(stream, window_s=10.0))
+        assert [len(w) for w in windows] == [1, 0, 1]
+
+    def test_empty_stream(self):
+        assert list(split_stream_by_window([], 10.0)) == []
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            list(split_stream_by_window([TimedQuery(0.0, None)], 0.0))
