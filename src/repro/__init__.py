@@ -56,6 +56,7 @@ from repro.core import (
     two_smallest_correlations,
     union_largest_correlations,
 )
+from repro import obs
 from repro.exceptions import (
     InfeasibleProblemError,
     PlacementError,
@@ -94,6 +95,7 @@ __all__ = [
     "get_strategy",
     "greedy_placement",
     "hash_node",
+    "obs",
     "importance_ranking",
     "importance_scores",
     "diff_placements",

@@ -7,6 +7,10 @@ Subcommands::
     repro evaluate     — replay a query log against a placement
     repro experiment   — regenerate a paper figure (fig2/fig5/fig6/fig7/all)
 
+``place``, ``evaluate``, and ``experiment`` accept ``--metrics-out PATH``
+(write a machine-readable run report) and ``--trace`` (print the span
+tree); see ``docs/OBSERVABILITY.md``.
+
 Run ``repro <subcommand> --help`` for options.
 """
 
@@ -17,12 +21,17 @@ import json
 import sys
 from typing import Sequence
 
+from repro import obs
 from repro.core.greedy import greedy_placement
 from repro.core.hashing import random_hash_placement
 from repro.core.lprr import LPRRPlanner
 from repro.core.partial import scoped_placement
 from repro.experiments.common import CaseStudy, CaseStudyConfig
-from repro.search.engine import DistributedSearchEngine, build_placement_problem
+from repro.search.engine import (
+    DistributedSearchEngine,
+    EvaluationSummary,
+    build_placement_problem,
+)
 from repro.search.index import InvertedIndex
 from repro.search.query import QueryLog
 from repro.workloads.corpus_gen import generate_corpus
@@ -44,6 +53,26 @@ def _add_study_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--vocabulary", type=int, default=4000, help="vocabulary size")
     parser.add_argument("--queries", type=int, default=30000, help="trace length")
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write a metrics/span report for this run to PATH",
+    )
+    parser.add_argument(
+        "--metrics-format",
+        choices=("json", "prometheus"),
+        default="json",
+        help="report format for --metrics-out (default: json)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the span tree of this run to stderr",
+    )
 
 
 def cmd_gen_queries(args: argparse.Namespace) -> int:
@@ -85,19 +114,33 @@ def cmd_place(args: argparse.Namespace) -> int:
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
-    """Replay a query log against a stored placement."""
+    """Replay a query log against a stored (or freshly planned) placement.
+
+    With a placement file, replays the log against it.  Without one,
+    plans a placement inline with ``--strategy`` first — the end-to-end
+    path whose trace shows the nested lp/rounding/replay phases.
+    """
     log = QueryLog.load(args.log)
     corpus = generate_corpus(args.documents, args.vocabulary, seed=args.seed)
     index = InvertedIndex.from_corpus(corpus)
-    with open(args.placement, encoding="utf-8") as fh:
-        mapping = {word: int(node) for word, node in json.load(fh).items()}
-    engine = DistributedSearchEngine(index, mapping)
+    if args.placement is not None:
+        with open(args.placement, encoding="utf-8") as fh:
+            placement = {word: int(node) for word, node in json.load(fh).items()}
+    else:
+        problem = build_placement_problem(
+            index, log, args.nodes, min_support=args.min_support
+        )
+        if args.strategy == "hash":
+            placement = random_hash_placement(problem)
+        elif args.strategy == "greedy":
+            placement = scoped_placement(problem, args.scope, greedy_placement)
+        else:
+            planner = LPRRPlanner(scope=args.scope, seed=args.seed)
+            placement = planner.plan(problem).placement
+    engine = DistributedSearchEngine(index, placement)
     stats = engine.execute_log(log)
-    print(
-        f"replayed {stats.queries} queries: {stats.total_bytes} bytes moved, "
-        f"{stats.local_fraction:.1%} local, "
-        f"{stats.mean_bytes_per_query:.1f} bytes/query"
-    )
+    summary = EvaluationSummary.from_stats(stats)
+    print(summary.render())
     return 0
 
 
@@ -202,14 +245,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--documents", type=int, default=1500)
     p.add_argument("--vocabulary", type=int, default=4000)
     p.add_argument("--seed", type=int, default=0)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_place)
 
     p = sub.add_parser("evaluate", help="replay a query log against a placement")
     p.add_argument("log", help="query log file")
-    p.add_argument("placement", help="placement JSON from `repro place`")
+    p.add_argument(
+        "placement",
+        nargs="?",
+        default=None,
+        help="placement JSON from `repro place` (omit to plan inline)",
+    )
+    p.add_argument(
+        "--strategy",
+        choices=("hash", "greedy", "lprr"),
+        default="lprr",
+        help="inline planning strategy when no placement file is given",
+    )
+    p.add_argument("--nodes", type=int, default=10)
+    p.add_argument("--scope", type=int, default=None, help="optimization scope")
+    p.add_argument("--min-support", type=int, default=2)
     p.add_argument("--documents", type=int, default=1500)
     p.add_argument("--vocabulary", type=int, default=4000)
     p.add_argument("--seed", type=int, default=0)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_evaluate)
 
     p = sub.add_parser("analyze", help="Figure-2 style analysis of a query log")
@@ -225,14 +284,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", type=int, nargs="*", help="node counts (fig7/all)")
     p.add_argument("--output", help="write the report to a file (all)")
     _add_study_args(p)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_experiment)
     return parser
+
+
+def _write_metrics(args: argparse.Namespace, inst: obs.Instrumentation) -> int:
+    from repro.obs.export import to_json, to_prometheus
+
+    if args.metrics_format == "prometheus":
+        payload = to_prometheus(inst.metrics)
+    else:
+        payload = to_json(inst.metrics, inst.tracer) + "\n"
+    try:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+    except OSError as exc:
+        print(f"error: cannot write metrics to {args.metrics_out}: {exc}", file=sys.stderr)
+        return 1
+    print(f"wrote {args.metrics_format} metrics to {args.metrics_out}", file=sys.stderr)
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    instrumented = bool(
+        getattr(args, "metrics_out", None) or getattr(args, "trace", False)
+    )
+    if not instrumented:
+        return args.func(args)
+
+    from repro.obs.export import render_span_tree
+
+    inst = obs.enable(obs.Instrumentation())
+    try:
+        with obs.span(args.command):
+            code = args.func(args)
+    finally:
+        obs.disable()
+    if args.trace:
+        print(render_span_tree(inst.tracer), file=sys.stderr)
+    if args.metrics_out:
+        code = _write_metrics(args, inst) or code
+    return code
 
 
 if __name__ == "__main__":

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Sequence
 
+from repro import obs
 from repro.cluster.network import NetworkModel
 from repro.cluster.node import StorageNode
 from repro.core.placement import Placement
@@ -103,6 +104,8 @@ class Cluster:
                 remote += 1
                 coordinator = target
             running = min(running, self._sizes[obj])
+        obs.counter("cluster.ops.intersection").inc()
+        obs.histogram("cluster.op.bytes").observe(transferred)
         return OperationResult(objects, transferred, coordinator, remote)
 
     def execute_union(self, objects: Sequence[ObjectId]) -> OperationResult:
@@ -125,6 +128,8 @@ class Cluster:
                 moved = self.network.transfer(source, coordinator, int(self._sizes[obj]))
                 transferred += moved
                 remote += 1
+        obs.counter("cluster.ops.union").inc()
+        obs.histogram("cluster.op.bytes").observe(transferred)
         return OperationResult(objects, transferred, coordinator, remote)
 
     def execute_trace(
@@ -142,7 +147,13 @@ class Cluster:
             run = self.execute_union
         else:
             raise ValueError(f"unknown operation mode {mode!r}")
-        return [run(op) for op in operations]
+        with obs.span("cluster.trace", mode=mode) as trace_span:
+            results = [run(op) for op in operations]
+            trace_span.set(
+                operations=len(results),
+                total_bytes=sum(r.bytes_transferred for r in results),
+            )
+        return results
 
     # ------------------------------------------------------------------
     # State
@@ -159,6 +170,7 @@ class Cluster:
         size = self.nodes[source].evict(obj)
         self.nodes[destination].store(obj, size)
         self._location[obj] = destination
+        obs.counter("cluster.migrations").inc()
         return float(self.network.transfer(source, destination, int(size)))
 
     def _sizes_or_raise(self, obj: ObjectId) -> float:

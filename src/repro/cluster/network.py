@@ -12,6 +12,8 @@ from typing import Hashable
 
 import numpy as np
 
+from repro import obs
+
 NodeId = Hashable
 
 
@@ -39,6 +41,8 @@ class NetworkModel:
             return 0
         self._bytes[i, j] += num_bytes
         self._messages[i, j] += 1
+        obs.counter("network.transfers").inc()
+        obs.counter("network.bytes").inc(num_bytes)
         return num_bytes
 
     @property

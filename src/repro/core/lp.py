@@ -25,11 +25,11 @@ The result is the same LP optimum with ``|E|`` fewer variables and
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.problem import PlacementProblem
 from repro.exceptions import InfeasibleProblemError, SolverError
 from repro.lpsolve import LinearProgram, LPStatus, Sense
@@ -181,10 +181,18 @@ def solve_placement_lp(
             f"total object size {problem.total_size:.6g} exceeds "
             f"total capacity {problem.total_capacity:.6g}"
         )
-    lp = build_placement_lp(problem)
-    start = time.perf_counter()
-    result = lp.solve(backend=backend)
-    elapsed = time.perf_counter() - start
+    with obs.span("lp", objects=problem.num_objects, nodes=problem.num_nodes):
+        with obs.span("lp.build"):
+            lp = build_placement_lp(problem)
+        obs.gauge("lp.num_variables").set(lp.num_variables)
+        obs.gauge("lp.num_constraints").set(lp.num_constraints)
+        obs.gauge("lp.num_nonzeros").set(lp.num_nonzeros)
+        with obs.timed("lp.solve", backend=backend) as solve_span:
+            result = lp.solve(backend=backend)
+        elapsed = solve_span.duration
+        solve_span.set(status=result.status.name, iterations=result.iterations)
+        obs.histogram("lp.solve_seconds").observe(elapsed)
+        obs.counter("lp.solves").inc()
 
     if result.status is LPStatus.INFEASIBLE:
         raise InfeasibleProblemError(

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.decompose import component_subproblems
 from repro.core.greedy import greedy_placement
 from repro.core.hashing import hash_node
@@ -132,55 +133,82 @@ class LPRRPlanner:
         scope = problem.num_objects if self.scope is None else min(
             self.scope, problem.num_objects
         )
-        scoped_ids = top_important(problem, scope)
-        scoped_set = set(scoped_ids)
+        with obs.span(
+            "lprr.plan",
+            objects=problem.num_objects,
+            nodes=problem.num_nodes,
+            scope=scope,
+        ) as plan_span:
+            with obs.span("lprr.scope"):
+                scoped_ids = top_important(problem, scope)
+                scoped_set = set(scoped_ids)
 
-        assignment = np.empty(problem.num_objects, dtype=np.int64)
-        for i, obj in enumerate(problem.object_ids):
-            if obj not in scoped_set:
-                assignment[i] = hash_node(obj, problem.num_nodes, self.hash_salt)
+            assignment = np.empty(problem.num_objects, dtype=np.int64)
+            with obs.span(
+                "lprr.hash", out_of_scope=problem.num_objects - len(scoped_set)
+            ):
+                for i, obj in enumerate(problem.object_ids):
+                    if obj not in scoped_set:
+                        assignment[i] = hash_node(
+                            obj, problem.num_nodes, self.hash_salt
+                        )
 
-        capacities = self._effective_capacities(problem, scoped_ids)
-        subproblem = problem.subproblem(scoped_ids, capacities=capacities)
-        if self.decompose:
-            rounding, lower_bound, stats = self._plan_decomposed(subproblem)
-        else:
-            fractional = solve_placement_lp(subproblem, backend=self.backend)
-            rounding = round_best_of(
-                fractional,
-                trials=self.rounding_trials,
-                rng=self.seed,
-                capacity_tolerance=self.capacity_tolerance,
+            capacities = self._effective_capacities(problem, scoped_ids)
+            subproblem = problem.subproblem(scoped_ids, capacities=capacities)
+            with obs.span("lprr.lp", decompose=self.decompose):
+                if self.decompose:
+                    rounding, lower_bound, stats = self._plan_decomposed(subproblem)
+                else:
+                    fractional = solve_placement_lp(
+                        subproblem, backend=self.backend
+                    )
+                    rounding = round_best_of(
+                        fractional,
+                        trials=self.rounding_trials,
+                        rng=self.seed,
+                        capacity_tolerance=self.capacity_tolerance,
+                    )
+                    lower_bound = fractional.lower_bound
+                    stats = fractional.stats
+            scoped_placement = rounding.placement
+            repaired = False
+            if self.repair and not scoped_placement.is_feasible(
+                self.capacity_tolerance
+            ):
+                # Theorem 3 only holds in expectation; this draw violated
+                # the conservative capacities, so the paper's algorithm
+                # gives no further guidance.  Take the cheaper of two
+                # capacity-respecting completions: minimum-cost repair of
+                # the rounded placement, or the greedy heuristic run on the
+                # same scoped subproblem.
+                with obs.span("lprr.repair"):
+                    candidates = [
+                        repair_capacity(
+                            scoped_placement, tolerance=self.capacity_tolerance
+                        )
+                    ]
+                    greedy = greedy_placement(subproblem)
+                    if greedy.is_feasible(self.capacity_tolerance):
+                        candidates.append(greedy)
+                    scoped_placement = min(
+                        candidates, key=lambda p: p.communication_cost()
+                    )
+                    repaired = True
+
+            for local_i, obj in enumerate(subproblem.object_ids):
+                assignment[problem.object_index(obj)] = scoped_placement.assignment[
+                    local_i
+                ]
+
+            placement = Placement(problem, assignment)
+            plan_span.set(
+                repaired=repaired,
+                lp_lower_bound=float(lower_bound),
+                cost=placement.communication_cost(),
             )
-            lower_bound = fractional.lower_bound
-            stats = fractional.stats
-        scoped_placement = rounding.placement
-        repaired = False
-        if self.repair and not scoped_placement.is_feasible(self.capacity_tolerance):
-            # Theorem 3 only holds in expectation; this draw violated
-            # the conservative capacities, so the paper's algorithm
-            # gives no further guidance.  Take the cheaper of two
-            # capacity-respecting completions: minimum-cost repair of
-            # the rounded placement, or the greedy heuristic run on the
-            # same scoped subproblem.
-            candidates = [
-                repair_capacity(scoped_placement, tolerance=self.capacity_tolerance)
-            ]
-            greedy = greedy_placement(subproblem)
-            if greedy.is_feasible(self.capacity_tolerance):
-                candidates.append(greedy)
-            scoped_placement = min(
-                candidates, key=lambda p: p.communication_cost()
-            )
-            repaired = True
-
-        for local_i, obj in enumerate(subproblem.object_ids):
-            assignment[problem.object_index(obj)] = scoped_placement.assignment[
-                local_i
-            ]
-
+        obs.counter("lprr.plans").inc()
         return LPRRResult(
-            placement=Placement(problem, assignment),
+            placement=placement,
             scope_objects=tuple(scoped_ids),
             lp_lower_bound=lower_bound,
             lp_stats=stats,
@@ -215,19 +243,22 @@ class LPRRPlanner:
         total_rounds = 0
         base_seed = 0 if self.seed is None else self.seed
         for index, component in enumerate(components):
-            fractional = solve_placement_lp(component, backend=self.backend)
-            lower_bound += fractional.lower_bound
-            total_vars += fractional.stats.num_variables
-            total_cons += fractional.stats.num_constraints
-            total_nnz += fractional.stats.num_nonzeros
-            total_seconds += fractional.stats.solve_seconds
-            total_iterations += fractional.stats.iterations
-            rounding = round_best_of(
-                fractional,
-                trials=self.rounding_trials,
-                rng=base_seed + index,
-                capacity_tolerance=self.capacity_tolerance,
-            )
+            with obs.span(
+                "lprr.component", index=index, objects=component.num_objects
+            ):
+                fractional = solve_placement_lp(component, backend=self.backend)
+                lower_bound += fractional.lower_bound
+                total_vars += fractional.stats.num_variables
+                total_cons += fractional.stats.num_constraints
+                total_nnz += fractional.stats.num_nonzeros
+                total_seconds += fractional.stats.solve_seconds
+                total_iterations += fractional.stats.iterations
+                rounding = round_best_of(
+                    fractional,
+                    trials=self.rounding_trials,
+                    rng=base_seed + index,
+                    capacity_tolerance=self.capacity_tolerance,
+                )
             total_rounds += rounding.rounds
             for local_i, obj in enumerate(component.object_ids):
                 assignment[subproblem.object_index(obj)] = (

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.lp import FractionalPlacement
 from repro.core.placement import Placement
 from repro.exceptions import SolverError
@@ -33,6 +34,8 @@ class RoundingResult:
         trials: Number of rounding trials performed.
         trial_costs: Cost of every trial, in order.
         rounds: Threshold rounds used by the selected trial.
+        best_trial: Index into ``trial_costs`` of the selected trial
+            (0 for aggregated results that kept no per-trial detail).
     """
 
     placement: Placement
@@ -40,6 +43,7 @@ class RoundingResult:
     trials: int
     trial_costs: tuple[float, ...]
     rounds: int
+    best_trial: int = 0
 
     @property
     def cost_std(self) -> float:
@@ -120,31 +124,47 @@ def round_best_of(
     best: Placement | None = None
     best_cost = np.inf
     best_rounds = 0
+    best_index = 0
     fallback: Placement | None = None
     fallback_cost = np.inf
     fallback_rounds = 0
+    fallback_index = 0
     costs: list[float] = []
+    cost_hist = obs.histogram("rounding.trial_cost")
+    rounds_hist = obs.histogram("rounding.trial_rounds")
 
-    for _ in range(trials):
-        placement, rounds = round_fractional(fractional, rng)
-        cost = placement.communication_cost()
-        costs.append(cost)
-        if cost < fallback_cost:
-            fallback, fallback_cost, fallback_rounds = placement, cost, rounds
-        if capacity_tolerance is not None and not placement.is_feasible(
-            capacity_tolerance
-        ):
-            continue
-        if cost < best_cost:
-            best, best_cost, best_rounds = placement, cost, rounds
+    with obs.span("rounding", trials=trials) as rounding_span:
+        for index in range(trials):
+            placement, rounds = round_fractional(fractional, rng)
+            cost = placement.communication_cost()
+            costs.append(cost)
+            cost_hist.observe(cost)
+            rounds_hist.observe(rounds)
+            if cost < fallback_cost:
+                fallback, fallback_cost = placement, cost
+                fallback_rounds, fallback_index = rounds, index
+            if capacity_tolerance is not None and not placement.is_feasible(
+                capacity_tolerance
+            ):
+                continue
+            if cost < best_cost:
+                best, best_cost = placement, cost
+                best_rounds, best_index = rounds, index
 
-    if best is None:
-        best, best_cost, best_rounds = fallback, fallback_cost, fallback_rounds
-    assert best is not None  # trials >= 1 guarantees a fallback
+        feasible = best is not None
+        if best is None:
+            best, best_cost = fallback, fallback_cost
+            best_rounds, best_index = fallback_rounds, fallback_index
+        assert best is not None  # trials >= 1 guarantees a fallback
+        rounding_span.set(
+            best_trial=best_index, best_cost=float(best_cost), feasible=feasible
+        )
+    obs.counter("rounding.trials").inc(trials)
     return RoundingResult(
         placement=best,
         cost=float(best_cost),
         trials=trials,
         trial_costs=tuple(costs),
         rounds=best_rounds,
+        best_trial=best_index,
     )

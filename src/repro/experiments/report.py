@@ -8,9 +8,9 @@ the paper's whole evaluation section (the CLI exposes it as
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
+from repro import obs
 from repro.experiments.common import CaseStudy
 from repro.experiments.fig2 import SkewStabilityConfig, run_skewness_stability
 from repro.experiments.fig5 import DominanceConfig, run_dominance
@@ -81,25 +81,34 @@ def run_full_report(
     rounding_trials: int = 10,
 ) -> FullReport:
     """Run the entire evaluation suite on one case study."""
-    start = time.perf_counter()
-    fig2 = run_skewness_stability(study, SkewStabilityConfig())
-    fig5 = run_dominance(study, DominanceConfig())
-    fig6 = run_scope_sweep(
-        study,
-        ScopeSweepConfig(scopes=scopes, rounding_trials=rounding_trials),
-    )
-    fig7 = run_node_sweep(
-        study,
-        NodeSweepConfig(
-            node_counts=node_counts,
-            scope=fig7_scope,
-            rounding_trials=rounding_trials,
-        ),
-    )
+    figure_hist = obs.histogram("experiment.figure_seconds")
+    with obs.timed("experiment.full_report") as report_span:
+        with obs.timed("experiment.fig2") as sp:
+            fig2 = run_skewness_stability(study, SkewStabilityConfig())
+        figure_hist.observe(sp.duration)
+        with obs.timed("experiment.fig5") as sp:
+            fig5 = run_dominance(study, DominanceConfig())
+        figure_hist.observe(sp.duration)
+        with obs.timed("experiment.fig6") as sp:
+            fig6 = run_scope_sweep(
+                study,
+                ScopeSweepConfig(scopes=scopes, rounding_trials=rounding_trials),
+            )
+        figure_hist.observe(sp.duration)
+        with obs.timed("experiment.fig7") as sp:
+            fig7 = run_node_sweep(
+                study,
+                NodeSweepConfig(
+                    node_counts=node_counts,
+                    scope=fig7_scope,
+                    rounding_trials=rounding_trials,
+                ),
+            )
+        figure_hist.observe(sp.duration)
     return FullReport(
         fig2=fig2,
         fig5=fig5,
         fig6=fig6,
         fig7=fig7,
-        elapsed_seconds=time.perf_counter() - start,
+        elapsed_seconds=report_span.duration,
     )

@@ -1,0 +1,67 @@
+"""repro.obs — spans, metrics, and exportable run reports.
+
+The observability layer for the LPRR pipeline: a nesting span tracer,
+a metrics registry (counters, gauges, histograms with exact
+percentiles), and exporters (JSON, Prometheus text, console tree).
+Stdlib-only, thread-safe, and free when disabled — instrumented code
+pays one global read per call site until :func:`enable` is invoked.
+
+Typical use::
+
+    from repro import obs
+    from repro.obs.export import render_span_tree, to_json
+
+    inst = obs.enable()
+    result = LPRRPlanner(seed=0).plan(problem)
+    print(render_span_tree(inst.tracer))
+    print(to_json(inst.metrics, inst.tracer))
+    obs.disable()
+
+See ``docs/OBSERVABILITY.md`` for the metric catalogue and span
+hierarchy.
+"""
+
+from repro.obs.export import (
+    metrics_to_dict,
+    render_span_tree,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.runtime import (
+    Instrumentation,
+    counter,
+    current,
+    disable,
+    enable,
+    gauge,
+    histogram,
+    is_enabled,
+    span,
+    timed,
+)
+from repro.obs.span import Span, Tracer, detached_span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "counter",
+    "current",
+    "detached_span",
+    "disable",
+    "enable",
+    "gauge",
+    "histogram",
+    "is_enabled",
+    "metrics_to_dict",
+    "render_span_tree",
+    "span",
+    "timed",
+    "to_json",
+    "to_prometheus",
+]

@@ -1,0 +1,143 @@
+"""Exporters: JSON document, Prometheus text format, console span tree.
+
+Three consumers, three formats:
+
+* :func:`to_json` — one machine-readable document per run, the
+  ``--metrics-out`` payload (metrics summaries + full span forest);
+* :func:`to_prometheus` — the text exposition format scrapers expect
+  (histograms become summaries with ``quantile`` labels);
+* :func:`render_span_tree` — a human-readable tree for the terminal,
+  the ``--trace`` output.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.span import Span, Tracer
+
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metrics_to_dict(registry: MetricsRegistry) -> dict[str, Any]:
+    """Metrics grouped by kind, histogram values summarized."""
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict[str, float]] = {}
+    for instrument in registry:
+        if isinstance(instrument, Counter):
+            counters[instrument.name] = instrument.value
+        elif isinstance(instrument, Gauge):
+            gauges[instrument.name] = instrument.value
+        elif isinstance(instrument, Histogram):
+            histograms[instrument.name] = instrument.summary()
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+    }
+
+
+def to_json(
+    registry: MetricsRegistry,
+    tracer: Tracer | None = None,
+    indent: int | None = 2,
+) -> str:
+    """The full run report as one JSON document."""
+    document: dict[str, Any] = {"metrics": metrics_to_dict(registry)}
+    if tracer is not None:
+        document["spans"] = [root.to_dict() for root in tracer.roots]
+    return json.dumps(document, indent=indent, sort_keys=False)
+
+
+def _prom_name(name: str) -> str:
+    sanitized = _PROM_INVALID.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition format (one sample set per metric).
+
+    Counters get the conventional ``_total`` suffix; histograms are
+    exported as summaries (exact quantiles, since observations are
+    retained verbatim).
+    """
+    lines: list[str] = []
+    for instrument in sorted(registry, key=lambda i: i.name):
+        name = _prom_name(instrument.name)
+        if isinstance(instrument, Counter):
+            if not name.endswith("_total"):
+                name += "_total"
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_fmt(instrument.value)}")
+        elif isinstance(instrument, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_fmt(instrument.value)}")
+        elif isinstance(instrument, Histogram):
+            lines.append(f"# TYPE {name} summary")
+            for q in (0.5, 0.9, 0.95, 0.99):
+                value = instrument.percentile(q * 100)
+                lines.append(f'{name}{{quantile="{_fmt(q)}"}} {_fmt(value)}')
+            lines.append(f"{name}_sum {_fmt(instrument.sum)}")
+            lines.append(f"{name}_count {instrument.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt(value: float) -> str:
+    """Render a float the way Prometheus likes: integral values bare."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_attr(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_span_tree(tracer: Tracer, min_duration: float = 0.0) -> str:
+    """The span forest as an indented console tree.
+
+    Args:
+        tracer: The tracer whose roots to render.
+        min_duration: Hide spans shorter than this many seconds
+            (children of hidden spans are hidden too).
+    """
+    lines: list[str] = []
+    for root in tracer.roots:
+        _render(root, "", "", lines, min_duration)
+    if not lines:
+        return "(no spans recorded)"
+    return "\n".join(lines)
+
+
+def _render(
+    span: Span,
+    lead: str,
+    child_lead: str,
+    lines: list[str],
+    min_duration: float,
+) -> None:
+    if span.duration < min_duration:
+        return
+    attrs = " ".join(
+        f"{k}={_fmt_attr(v)}" for k, v in sorted(span.attributes.items())
+    )
+    label = f"{lead}{span.name}"
+    timing = f"{span.duration * 1000:.1f}ms"
+    line = f"{label:<48} {timing:>10}"
+    if attrs:
+        line += f"  {attrs}"
+    lines.append(line)
+    visible = [c for c in span.children if c.duration >= min_duration]
+    for i, child in enumerate(visible):
+        last = i == len(visible) - 1
+        branch = "└─ " if last else "├─ "
+        extend = "   " if last else "│  "
+        _render(child, child_lead + branch, child_lead + extend, lines, min_duration)

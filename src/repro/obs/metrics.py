@@ -1,0 +1,236 @@
+"""Metrics: counters, gauges, and histograms with percentile summaries.
+
+The registry is the numeric side of the observability layer — where
+spans say *where time went*, metrics say *how much of what happened*:
+bytes shipped per query, rounding-trial costs, LP sizes.  All three
+instrument kinds are thread-safe and stdlib-only.
+
+Naming convention: dotted lowercase paths (``engine.query.bytes``,
+``lp.solve_seconds``).  The Prometheus exporter rewrites dots to
+underscores; the JSON exporter keeps them verbatim.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, trials)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be nonnegative)."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge instead")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self._value})"
+
+
+class Gauge:
+    """A point-in-time value that can move either way (sizes, loads)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self._value})"
+
+
+class Histogram:
+    """A distribution with exact percentile summaries.
+
+    Observations are retained verbatim (the workloads here are at most
+    a few hundred thousand observations), so percentiles are exact —
+    computed with the linear-interpolation rule numpy uses by default.
+    """
+
+    __slots__ = ("name", "_values", "_sorted", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: list[float] = []
+        self._sorted = True
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            if self._sorted and self._values and value < self._values[-1]:
+                self._sorted = False
+            self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def sum(self) -> float:
+        return float(sum(self._values))
+
+    @property
+    def min(self) -> float:
+        return min(self._values) if self._values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self._values) if self._values else 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self._values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0..100), linearly interpolated."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        with self._lock:
+            if not self._values:
+                return 0.0
+            if not self._sorted:
+                self._values.sort()
+                self._sorted = True
+            values = self._values
+            rank = (p / 100.0) * (len(values) - 1)
+            lo = int(rank)
+            hi = min(lo + 1, len(values) - 1)
+            frac = rank - lo
+            return values[lo] * (1.0 - frac) + values[hi] * frac
+
+    def summary(self) -> dict[str, float]:
+        """count/sum/min/max/mean plus p50, p90, p95, p99."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for the disabled path."""
+
+    __slots__ = ()
+    name = "noop"
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def dec(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+    value = 0.0
+    count = 0
+    sum = 0.0
+    min = 0.0
+    max = 0.0
+    mean = 0.0
+
+    def percentile(self, p: float) -> float:
+        return 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {}
+
+    def __repr__(self) -> str:
+        return "NullInstrument()"
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments.
+
+    Asking twice for the same name returns the same instrument;
+    asking for a name already registered as a different kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type) -> Any:
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = kind(name)
+            elif not isinstance(instrument, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {kind.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
+        with self._lock:
+            return iter(list(self._instruments.values()))
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def reset(self) -> None:
+        """Drop every instrument."""
+        with self._lock:
+            self._instruments.clear()

@@ -1,0 +1,154 @@
+"""Global instrumentation state with a zero-cost disabled path.
+
+The rest of the codebase reaches observability exclusively through the
+module-level helpers here (``span``, ``timed``, ``counter``, ``gauge``,
+``histogram``).  When nothing has called :func:`enable`, every helper
+returns a shared no-op object — one global read and one attribute call,
+no allocation, no branching at call sites — so instrumentation can stay
+threaded through hot paths permanently.
+
+``timed`` is the one exception to "no-op when disabled": it always
+returns a real (detached) :class:`~repro.obs.span.Span`, because some
+timings are part of the public result surface (``LPStats.solve_seconds``,
+``FullReport.elapsed_seconds``) and must exist whether or not a run is
+being traced.  When tracing is on, the same span is also attached to
+the trace tree.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.obs.metrics import (
+    NULL_INSTRUMENT,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.span import NULL_SPAN, Span, Tracer, _OpenSpan
+
+
+class Instrumentation:
+    """One tracer + one metrics registry — the unit of enablement."""
+
+    def __init__(self) -> None:
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+
+    def reset(self) -> None:
+        self.tracer.reset()
+        self.metrics.reset()
+
+
+_lock = threading.Lock()
+_active: Instrumentation | None = None
+
+
+def enable(instrumentation: Instrumentation | None = None) -> Instrumentation:
+    """Turn instrumentation on (idempotent) and return the active unit.
+
+    Passing an existing :class:`Instrumentation` activates that one —
+    useful for tests that want a private registry.
+    """
+    global _active
+    with _lock:
+        if instrumentation is not None:
+            _active = instrumentation
+        elif _active is None:
+            _active = Instrumentation()
+        return _active
+
+
+def disable() -> None:
+    """Turn instrumentation off; helpers revert to the no-op path."""
+    global _active
+    with _lock:
+        _active = None
+
+
+def is_enabled() -> bool:
+    """Whether an instrumentation unit is active."""
+    return _active is not None
+
+
+def current() -> Instrumentation | None:
+    """The active instrumentation unit, or None when disabled."""
+    return _active
+
+
+def span(name: str, **attributes: Any) -> Any:
+    """A traced span context manager (shared no-op when disabled)."""
+    active = _active
+    if active is None:
+        return NULL_SPAN
+    return active.tracer.span(name, **attributes)
+
+
+class _TimedSpan:
+    """Context manager yielding a span that always measures time.
+
+    When tracing is active the span joins the trace tree; otherwise it
+    is detached but still stamps start/end, so callers can read
+    ``duration`` either way.
+    """
+
+    __slots__ = ("_name", "_attributes", "_span", "_open")
+
+    def __init__(self, name: str, attributes: dict[str, Any]):
+        self._name = name
+        self._attributes = attributes
+        self._span: Span | None = None
+        self._open: _OpenSpan | None = None
+
+    def __enter__(self) -> Span:
+        active = _active
+        if active is None:
+            self._span = Span(self._name, self._attributes)
+        else:
+            self._open = active.tracer.span(self._name, **self._attributes)
+            self._span = self._open.__enter__()
+        return self._span
+
+    def __exit__(self, *exc: object) -> None:
+        if self._open is not None:
+            self._open.__exit__(*exc)
+        elif self._span is not None:
+            self._span.finish()
+
+
+def timed(name: str, **attributes: Any) -> _TimedSpan:
+    """A span that measures wall-clock even when instrumentation is off.
+
+    Use for timings that feed public result fields::
+
+        with obs.timed("lp.solve") as sp:
+            result = lp.solve()
+        elapsed = sp.duration
+    """
+    return _TimedSpan(name, attributes)
+
+
+def counter(name: str) -> Counter:
+    """The named counter (shared no-op when disabled)."""
+    active = _active
+    if active is None:
+        return NULL_INSTRUMENT  # type: ignore[return-value]
+    return active.metrics.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """The named gauge (shared no-op when disabled)."""
+    active = _active
+    if active is None:
+        return NULL_INSTRUMENT  # type: ignore[return-value]
+    return active.metrics.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    """The named histogram (shared no-op when disabled)."""
+    active = _active
+    if active is None:
+        return NULL_INSTRUMENT  # type: ignore[return-value]
+    return active.metrics.histogram(name)

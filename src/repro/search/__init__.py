@@ -9,7 +9,12 @@ accounting every byte of inter-node communication.
 
 from repro.search.docpartition import DocPartitionStats, DocumentPartitionedEngine
 from repro.search.documents import Corpus, Document
-from repro.search.engine import DistributedSearchEngine, EngineStats, QueryExecution
+from repro.search.engine import (
+    DistributedSearchEngine,
+    EngineStats,
+    EvaluationSummary,
+    QueryExecution,
+)
 from repro.search.index import InvertedIndex, page_id
 from repro.search.indexio import load_index, save_index
 from repro.search.query import Query, QueryLog
@@ -25,6 +30,7 @@ __all__ = [
     "DocumentPartitionedEngine",
     "Document",
     "EngineStats",
+    "EvaluationSummary",
     "InvertedIndex",
     "LatencyReport",
     "Query",

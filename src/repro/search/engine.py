@@ -20,6 +20,7 @@ from typing import Hashable, Iterable, Mapping
 
 import numpy as np
 
+from repro import obs
 from repro.core.correlation import (
     cooccurrence_correlations,
     two_smallest_correlations,
@@ -86,6 +87,41 @@ class EngineStats:
     def mean_bytes_per_query(self) -> float:
         """Average communication per query."""
         return self.total_bytes / self.queries if self.queries else 0.0
+
+
+@dataclass(frozen=True)
+class EvaluationSummary:
+    """Headline numbers of one trace replay, in report-ready form.
+
+    This is the stable surface the CLI prints and that the
+    ``--metrics-out`` JSON report mirrors (``engine.queries`` /
+    ``engine.bytes`` counters, ``engine.query.bytes`` histogram).
+    """
+
+    queries: int
+    total_bytes: int
+    total_hops: int
+    local_fraction: float
+    mean_bytes_per_query: float
+
+    @classmethod
+    def from_stats(cls, stats: EngineStats) -> "EvaluationSummary":
+        """Freeze an :class:`EngineStats` accumulator into a summary."""
+        return cls(
+            queries=stats.queries,
+            total_bytes=stats.total_bytes,
+            total_hops=stats.total_hops,
+            local_fraction=stats.local_fraction,
+            mean_bytes_per_query=stats.mean_bytes_per_query,
+        )
+
+    def render(self) -> str:
+        """One-line human summary (the ``repro evaluate`` output)."""
+        return (
+            f"replayed {self.queries} queries: {self.total_bytes} bytes moved, "
+            f"{self.local_fraction:.1%} local, "
+            f"{self.mean_bytes_per_query:.1f} bytes/query"
+        )
 
 
 class DistributedSearchEngine:
@@ -205,12 +241,28 @@ class DistributedSearchEngine:
         if mode not in ("intersection", "union"):
             raise ValueError(f"unknown query mode {mode!r}")
         stats = EngineStats()
-        for query in log:
-            if mode == "intersection":
-                execution, senders = self._execute_with_senders(query)
-            else:
-                execution, senders = self.execute_union(query), []
-            stats.record(execution, senders)
+        bytes_hist = obs.histogram("engine.query.bytes")
+        hops_hist = obs.histogram("engine.query.hops")
+        nodes_hist = obs.histogram("engine.query.nodes_contacted")
+        with obs.span("replay", mode=mode) as replay_span:
+            for query in log:
+                if mode == "intersection":
+                    execution, senders = self._execute_with_senders(query)
+                else:
+                    execution, senders = self.execute_union(query), []
+                stats.record(execution, senders)
+                bytes_hist.observe(execution.bytes_transferred)
+                hops_hist.observe(execution.hops)
+                nodes_hist.observe(execution.nodes_contacted)
+            replay_span.set(
+                queries=stats.queries,
+                total_bytes=stats.total_bytes,
+                local_fraction=stats.local_fraction,
+            )
+        obs.counter("engine.queries").inc(stats.queries)
+        obs.counter("engine.local_queries").inc(stats.local_queries)
+        obs.counter("engine.bytes").inc(stats.total_bytes)
+        obs.counter("engine.hops").inc(stats.total_hops)
         return stats
 
 

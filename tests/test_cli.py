@@ -128,6 +128,97 @@ class TestPlaceAndEvaluate:
         assert "local" in text
 
 
+class TestMetricsRoundTrip:
+    COMMON = ["--documents", "150", "--vocabulary", "300", "--seed", "1"]
+    FLAGS = ["--nodes", "4", "--scope", "40", *COMMON]
+
+    def test_evaluate_metrics_out_matches_summary(
+        self, query_log_file, tmp_path, capsys
+    ):
+        """End-to-end: inline-planned evaluate emits a JSON report whose
+        query-count and bytes metrics match the printed summary."""
+        metrics_path = tmp_path / "m.json"
+        code = main(
+            [
+                "evaluate",
+                str(query_log_file),
+                *self.FLAGS,
+                "--metrics-out",
+                str(metrics_path),
+                "--trace",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        # "replayed N queries: B bytes moved, ..."
+        replayed = next(l for l in captured.out.splitlines() if "replayed" in l)
+        queries = int(replayed.split("replayed ")[1].split(" queries")[0])
+        total_bytes = int(replayed.split("queries: ")[1].split(" bytes")[0])
+
+        doc = json.loads(metrics_path.read_text())
+        counters = doc["metrics"]["counters"]
+        assert counters["engine.queries"] == queries
+        assert counters["engine.bytes"] == total_bytes
+        bytes_hist = doc["metrics"]["histograms"]["engine.query.bytes"]
+        assert bytes_hist["count"] == queries
+        assert bytes_hist["sum"] == total_bytes
+        # The full pipeline ran, so planning metrics are present too.
+        assert doc["metrics"]["histograms"]["lp.solve_seconds"]["count"] >= 1
+        assert doc["metrics"]["histograms"]["rounding.trial_cost"]["count"] >= 1
+
+        def names(span):
+            yield span["name"]
+            for child in span["children"]:
+                yield from names(child)
+
+        (root,) = doc["spans"]
+        spanned = set(names(root))
+        assert root["name"] == "evaluate"
+        assert {"lprr.plan", "lp.solve", "rounding", "replay"} <= spanned
+        # --trace prints the same tree on stderr.
+        assert "lprr.plan" in captured.err
+        assert "replay" in captured.err
+
+    def test_disabled_run_is_identical_and_writes_nothing(
+        self, query_log_file, tmp_path, capsys
+    ):
+        args = ["evaluate", str(query_log_file), *self.FLAGS]
+        assert main(args) == 0
+        plain = capsys.readouterr()
+        metrics_path = tmp_path / "m.json"
+        assert main([*args, "--metrics-out", str(metrics_path), "--trace"]) == 0
+        instrumented = capsys.readouterr()
+        assert instrumented.out == plain.out  # byte-identical stdout
+        assert plain.err == ""
+        assert metrics_path.exists()
+        assert not list(tmp_path.glob("*.json")) == []  # file only when asked
+        assert main(args) == 0
+        assert capsys.readouterr().err == ""  # no trace when not asked
+
+    def test_place_prometheus_export(self, query_log_file, tmp_path, capsys):
+        out = tmp_path / "placement.json"
+        prom = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "place",
+                str(query_log_file),
+                str(out),
+                "--strategy",
+                "lprr",
+                *self.FLAGS,
+                "--metrics-out",
+                str(prom),
+                "--metrics-format",
+                "prometheus",
+            ]
+        )
+        assert code == 0
+        text = prom.read_text()
+        assert "# TYPE lp_solve_seconds summary" in text
+        assert "lp_solve_seconds_count" in text
+        assert "# TYPE lprr_plans_total counter" in text
+
+
 class TestExperimentCommand:
     SMALL = [
         "--documents",
