@@ -5,12 +5,21 @@ suite finishes in minutes on a laptop (the paper's full-scale runs took
 up to 48 hours of LP time; EXPERIMENTS.md maps the scales).  Sweep
 results are cached in a session dict so the headline-range benchmark
 can aggregate without re-running the expensive sweeps.
+
+Options (used by the CI bench-smoke job):
+
+* ``--jobs N`` — worker count handed to benchmarks that exercise the
+  parallel engine (default 1; the study itself stays on the legacy
+  engine so headline baselines are untouched).
+* ``--metrics-json PATH`` — collect ``repro.obs`` metrics over the
+  whole session and write a JSON report to PATH.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro import obs
 from repro.experiments.common import CaseStudy, CaseStudyConfig
 
 BENCH_CONFIG = CaseStudyConfig(
@@ -38,3 +47,42 @@ def study() -> CaseStudy:
 def results_cache() -> dict:
     """Cross-module cache of expensive sweep results."""
     return {}
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker count for parallel-engine benchmarks",
+    )
+    parser.addoption(
+        "--metrics-json",
+        default=None,
+        metavar="PATH",
+        help="write a repro.obs metrics report for the session to PATH",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_jobs(request) -> int:
+    """The --jobs option (parallel-engine worker count)."""
+    return request.config.getoption("--jobs")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _session_metrics(request):
+    """Instrument the whole session when --metrics-json is given."""
+    path = request.config.getoption("--metrics-json")
+    if path is None:
+        yield
+        return
+    inst = obs.enable(obs.Instrumentation())
+    try:
+        yield
+    finally:
+        obs.disable()
+        from repro.obs.export import to_json
+
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(to_json(inst.metrics, inst.tracer) + "\n")

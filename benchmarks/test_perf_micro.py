@@ -48,6 +48,26 @@ def test_perf_rounding(benchmark, scoped):
     assert placement.assignment.shape == (scoped.num_objects,)
 
 
+def test_perf_parallel_rounding(benchmark, scoped, bench_jobs):
+    """Best-of-8 rounding on the engine selected by --jobs.
+
+    Run with ``--jobs 1`` and ``--jobs 2`` to compare inline vs pooled;
+    the resulting placement is identical either way (spawned per-trial
+    seeds), so this also smoke-tests the determinism contract.
+    """
+    from repro.parallel import parallel_round_best_of
+
+    fractional = solve_placement_lp(scoped)
+    result = benchmark(
+        lambda: parallel_round_best_of(
+            fractional, trials=8, root_seed=0, jobs=bench_jobs
+        )
+    )
+    assert result.trials == 8
+    baseline = parallel_round_best_of(fractional, trials=8, root_seed=0, jobs=1)
+    assert result.trial_costs == baseline.trial_costs
+
+
 def test_perf_engine_query(benchmark, study):
     placement = study.place_hash(10)
     engine = DistributedSearchEngine(study.index, placement)

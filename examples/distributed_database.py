@@ -16,10 +16,10 @@ import numpy as np
 from repro.analysis.reporting import format_table
 from repro.cluster import Cluster
 from repro.core import (
-    LPRRPlanner,
     PlacementProblem,
+    PlanConfig,
     cooccurrence_correlations,
-    random_hash_placement,
+    plan,
 )
 
 NUM_NODES = 6
@@ -68,8 +68,10 @@ def main() -> None:
 
     problem = PlacementProblem.build(segments, NUM_NODES, correlations)
     placements = {
-        "random hash": random_hash_placement(problem),
-        "LPRR": LPRRPlanner(seed=0, rounding_trials=20).plan(problem).placement,
+        "random hash": plan(problem, "hash").placement,
+        "LPRR": plan(
+            problem, "lprr", PlanConfig(seed=0, rounding_trials=20)
+        ).placement,
     }
 
     rows = []

@@ -9,10 +9,7 @@ the replayed communication cost at each point.
 Run:  python examples/partial_optimization_sweep.py  (takes ~1-2 minutes)
 """
 
-import time
-
 from repro.analysis.reporting import format_table
-from repro.core.lprr import LPRRPlanner
 from repro.experiments.common import CaseStudy, CaseStudyConfig
 from repro.experiments.fig5 import run_dominance
 
@@ -32,23 +29,19 @@ def main() -> None:
     )
     print(run_dominance(study).render())
 
-    problem = study.placement_problem(NUM_NODES)
     hash_bytes = study.replay_cost(study.place_hash(NUM_NODES))
     print(f"\nhash baseline: {hash_bytes} bytes\n")
 
     rows = []
     for scope in SCOPES:
-        planner = LPRRPlanner(scope=scope, seed=study.config.seed)
-        start = time.perf_counter()
-        result = planner.plan(problem)
-        elapsed = time.perf_counter() - start
+        result = study.plan_with("lprr", NUM_NODES, scope=scope)
         replayed = study.replay_cost(result.placement)
         rows.append(
             [
                 scope,
-                result.lp_stats.num_variables,
-                result.lp_stats.num_constraints,
-                elapsed,
+                result.details.lp_stats.num_variables,
+                result.details.lp_stats.num_constraints,
+                result.elapsed_seconds,
                 replayed / hash_bytes,
             ]
         )

@@ -9,13 +9,7 @@ LPRR, and the exact optimum on that instance.
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    LPRRPlanner,
-    PlacementProblem,
-    greedy_placement,
-    random_hash_placement,
-    solve_exact,
-)
+from repro import PlacementProblem, PlanConfig, plan, solve_exact
 
 
 def main() -> None:
@@ -32,10 +26,13 @@ def main() -> None:
     print(f"problem: {problem}")
     print(f"worst case (every pair split): {problem.total_pair_weight:.3f}\n")
 
+    # The tiny instance has real capacities, so plan against them
+    # directly instead of the paper's conservative 2x-average rule.
+    config = PlanConfig(capacity_factor=None, seed=0)
     strategies = {
-        "random hash": random_hash_placement(problem),
-        "greedy": greedy_placement(problem),
-        "LPRR": LPRRPlanner(capacity_factor=None, seed=0).plan(problem).placement,
+        "random hash": plan(problem, "hash", config).placement,
+        "greedy": plan(problem, "greedy", config).placement,
+        "LPRR": plan(problem, "lprr", config).placement,
         "exact optimum": solve_exact(problem).placement,
     }
     for name, placement in strategies.items():

@@ -17,7 +17,7 @@ Run:  python examples/replanning.py
 """
 
 from repro.analysis.reporting import format_table
-from repro.core import LPRRPlanner, Placement, select_migrations
+from repro.core import Placement, PlanConfig, plan as plan_placement, select_migrations
 from repro.experiments.common import CaseStudy, CaseStudyConfig
 from repro.search.engine import DistributedSearchEngine, build_placement_problem
 
@@ -45,8 +45,9 @@ def main() -> None:
             seed=4,
         )
     )
+    config = PlanConfig(scope=SCOPE, seed=0)
     problem1 = study.placement_problem(NUM_NODES)
-    placement1 = LPRRPlanner(scope=SCOPE, seed=0).plan(problem1).placement
+    placement1 = plan_placement(problem1, "lprr", config).placement
 
     # Period 2: same keywords, drifted correlations.
     problem2 = build_placement_problem(
@@ -60,7 +61,7 @@ def main() -> None:
             for obj in problem2.object_ids
         },
     )
-    fresh = LPRRPlanner(scope=SCOPE, seed=0).plan(problem2).placement
+    fresh = plan_placement(problem2, "lprr", config).placement
 
     total_index_bytes = int(problem2.total_size)
     budget = total_index_bytes // 20  # allow moving 5% of the data

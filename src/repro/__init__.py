@@ -7,15 +7,16 @@ and the full-text-search case study used in the paper's evaluation.
 
 Quick start::
 
-    from repro import PlacementProblem, LPRRPlanner, random_hash_placement
+    from repro import PlacementProblem, PlanConfig, plan
 
     problem = PlacementProblem.build(
         objects={"car": 4.0, "dealer": 3.0, "software": 5.0, "download": 2.0},
         nodes={0: 8.0, 1: 8.0},
         correlations={("car", "dealer"): 0.30, ("software", "download"): 0.25},
     )
-    result = LPRRPlanner(seed=0).plan(problem)
-    print(result.cost, random_hash_placement(problem).communication_cost())
+    result = plan(problem, "lprr", PlanConfig(seed=0))
+    baseline = plan(problem, "hash")
+    print(result.cost, baseline.cost)
 """
 
 from repro.core import (
@@ -30,12 +31,17 @@ from repro.core import (
     PairData,
     Placement,
     PlacementProblem,
+    PlanConfig,
+    Planner,
+    PlanResult,
     ResourceSpec,
     RoundingResult,
+    available_planners,
     available_strategies,
     best_fit_decreasing_placement,
     build_placement_lp,
     cooccurrence_correlations,
+    get_planner,
     get_strategy,
     greedy_placement,
     hash_node,
@@ -43,7 +49,9 @@ from repro.core import (
     importance_scores,
     diff_placements,
     min_size_pair_cost,
+    plan,
     random_hash_placement,
+    register_planner,
     repair_capacity,
     round_best_of,
     round_fractional,
@@ -66,7 +74,7 @@ from repro.exceptions import (
     TraceFormatError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CorrelationEstimator",
@@ -82,16 +90,21 @@ __all__ = [
     "Placement",
     "PlacementError",
     "PlacementProblem",
+    "PlanConfig",
+    "PlanResult",
+    "Planner",
     "ResourceSpec",
     "ProblemDefinitionError",
     "ReproError",
     "RoundingResult",
     "SolverError",
     "TraceFormatError",
+    "available_planners",
     "available_strategies",
     "best_fit_decreasing_placement",
     "build_placement_lp",
     "cooccurrence_correlations",
+    "get_planner",
     "get_strategy",
     "greedy_placement",
     "hash_node",
@@ -100,7 +113,9 @@ __all__ = [
     "importance_scores",
     "diff_placements",
     "min_size_pair_cost",
+    "plan",
     "random_hash_placement",
+    "register_planner",
     "repair_capacity",
     "round_best_of",
     "round_fractional",

@@ -14,7 +14,7 @@ from typing import Callable, Mapping
 from repro.analysis.reporting import format_table
 from repro.core.placement import Placement
 from repro.core.problem import PlacementProblem
-from repro.core.strategies import get_strategy
+from repro.core.strategies import PlanConfig, get_planner
 
 CostFunction = Callable[[Placement], float]
 Strategy = Callable[[PlacementProblem], Placement]
@@ -69,17 +69,21 @@ def compare_strategies(
     problem: PlacementProblem,
     strategies: Mapping[str, Strategy] | list[str] | None = None,
     cost: CostFunction | None = None,
+    config: PlanConfig | None = None,
 ) -> ComparisonResult:
     """Run strategies on a problem and normalize their costs.
 
     Args:
         problem: The CCA instance.
         strategies: Either a name -> callable mapping, a list of
-            registry names, or None for the paper's three strategies
-            (``hash``, ``greedy``, ``lprr``).  The first entry is the
-            normalization baseline.
+            planner-registry names, or None for the paper's three
+            strategies (``hash``, ``greedy``, ``lprr``).  The first
+            entry is the normalization baseline.
         cost: Placement scorer; defaults to the model communication
             cost (pass an engine-replay closure for measured bytes).
+        config: :class:`~repro.core.strategies.PlanConfig` applied to
+            named planners (ignored for callable entries); defaults to
+            ``PlanConfig()``.
 
     Returns:
         A :class:`ComparisonResult` in the strategies' given order.
@@ -87,7 +91,13 @@ def compare_strategies(
     if strategies is None:
         strategies = ["hash", "greedy", "lprr"]
     if isinstance(strategies, list):
-        strategies = {name: get_strategy(name) for name in strategies}
+        plan_config = config or PlanConfig()
+
+        def _as_strategy(name: str) -> Strategy:
+            planner = get_planner(name)
+            return lambda prob: planner(prob, config=plan_config).placement
+
+        strategies = {name: _as_strategy(name) for name in strategies}
     if not strategies:
         raise ValueError("no strategies to compare")
     score = cost or (lambda placement: placement.communication_cost())

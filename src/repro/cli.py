@@ -11,6 +11,11 @@ Subcommands::
 (write a machine-readable run report) and ``--trace`` (print the span
 tree); see ``docs/OBSERVABILITY.md``.
 
+``place`` and ``evaluate`` plan through the Planner registry and accept
+``--jobs N`` (deterministic parallel engine; same placement for every
+N) and ``--cache-dir DIR`` / ``--no-cache`` (content-addressed plan
+cache — a warm replan skips the LP solve); see ``docs/PARALLELISM.md``.
+
 Run ``repro <subcommand> --help`` for options.
 """
 
@@ -22,10 +27,7 @@ import sys
 from typing import Sequence
 
 from repro import obs
-from repro.core.greedy import greedy_placement
-from repro.core.hashing import random_hash_placement
-from repro.core.lprr import LPRRPlanner
-from repro.core.partial import scoped_placement
+from repro.core.strategies import PlanConfig, available_planners, plan
 from repro.experiments.common import CaseStudy, CaseStudyConfig
 from repro.search.engine import (
     DistributedSearchEngine,
@@ -45,7 +47,12 @@ def _build_study(args: argparse.Namespace) -> CaseStudy:
         num_queries=args.queries,
         seed=args.seed,
     )
-    return CaseStudy.build(config)
+    planning = PlanConfig(
+        jobs=getattr(args, "jobs", None),
+        cache_dir=getattr(args, "cache_dir", None),
+        use_cache=not getattr(args, "no_cache", False),
+    )
+    return CaseStudy.build(config, planning=planning)
 
 
 def _add_study_args(parser: argparse.ArgumentParser) -> None:
@@ -53,6 +60,41 @@ def _add_study_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--vocabulary", type=int, default=4000, help="vocabulary size")
     parser.add_argument("--queries", type=int, default=30000, help="trace length")
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
+
+
+def _add_planner_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "parallel engine: round (and decompose) on N worker processes; "
+            "1 runs the same engine inline, negative means one worker per "
+            "CPU, omit for the legacy serial engine"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="content-addressed plan cache; a warm replan skips the LP solve",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir (plan from scratch)",
+    )
+
+
+def _plan_config(args: argparse.Namespace) -> PlanConfig:
+    return PlanConfig(
+        scope=args.scope,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -92,15 +134,8 @@ def cmd_place(args: argparse.Namespace) -> int:
     index = InvertedIndex.from_corpus(corpus)
     problem = build_placement_problem(index, log, args.nodes, min_support=args.min_support)
 
-    if args.strategy == "hash":
-        placement = random_hash_placement(problem)
-    elif args.strategy == "greedy":
-        placement = scoped_placement(problem, args.scope, greedy_placement)
-    elif args.strategy == "lprr":
-        planner = LPRRPlanner(scope=args.scope, seed=args.seed)
-        placement = planner.plan(problem).placement
-    else:  # pragma: no cover - argparse choices guard this
-        raise ValueError(args.strategy)
+    result = plan(problem, args.strategy, _plan_config(args))
+    placement = result.placement
 
     mapping = {str(obj): int(node) for obj, node in placement.to_mapping().items()}
     with open(args.output, "w", encoding="utf-8") as fh:
@@ -130,13 +165,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         problem = build_placement_problem(
             index, log, args.nodes, min_support=args.min_support
         )
-        if args.strategy == "hash":
-            placement = random_hash_placement(problem)
-        elif args.strategy == "greedy":
-            placement = scoped_placement(problem, args.scope, greedy_placement)
-        else:
-            planner = LPRRPlanner(scope=args.scope, seed=args.seed)
-            placement = planner.plan(problem).placement
+        placement = plan(problem, args.strategy, _plan_config(args)).placement
     engine = DistributedSearchEngine(index, placement)
     stats = engine.execute_log(log)
     summary = EvaluationSummary.from_stats(stats)
@@ -238,13 +267,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("place", help="compute a keyword-index placement")
     p.add_argument("log", help="query log file")
     p.add_argument("output", help="placement JSON output path")
-    p.add_argument("--strategy", choices=("hash", "greedy", "lprr"), default="lprr")
+    p.add_argument("--strategy", choices=available_planners(), default="lprr")
     p.add_argument("--nodes", type=int, default=10)
     p.add_argument("--scope", type=int, default=None, help="optimization scope")
     p.add_argument("--min-support", type=int, default=2)
     p.add_argument("--documents", type=int, default=1500)
     p.add_argument("--vocabulary", type=int, default=4000)
     p.add_argument("--seed", type=int, default=0)
+    _add_planner_args(p)
     _add_obs_args(p)
     p.set_defaults(func=cmd_place)
 
@@ -258,7 +288,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--strategy",
-        choices=("hash", "greedy", "lprr"),
+        choices=available_planners(),
         default="lprr",
         help="inline planning strategy when no placement file is given",
     )
@@ -268,6 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--documents", type=int, default=1500)
     p.add_argument("--vocabulary", type=int, default=4000)
     p.add_argument("--seed", type=int, default=0)
+    _add_planner_args(p)
     _add_obs_args(p)
     p.set_defaults(func=cmd_evaluate)
 
@@ -284,6 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", type=int, nargs="*", help="node counts (fig7/all)")
     p.add_argument("--output", help="write the report to a file (all)")
     _add_study_args(p)
+    _add_planner_args(p)
     _add_obs_args(p)
     p.set_defaults(func=cmd_experiment)
     return parser

@@ -49,9 +49,16 @@ from repro.core.serialization import (
 )
 from repro.core.strategies import (
     PlacementStrategy,
+    PlanConfig,
+    Planner,
+    PlanResult,
+    available_planners,
     available_strategies,
     best_fit_decreasing_placement,
+    get_planner,
     get_strategy,
+    plan,
+    register_planner,
     round_robin_placement,
 )
 
@@ -68,8 +75,12 @@ __all__ = [
     "Placement",
     "PlacementProblem",
     "PlacementStrategy",
+    "PlanConfig",
+    "PlanResult",
+    "Planner",
     "ReplicatedPlacement",
     "ResourceSpec",
+    "available_planners",
     "available_strategies",
     "best_fit_decreasing_placement",
     "component_subproblems",
@@ -77,6 +88,7 @@ __all__ = [
     "build_placement_lp",
     "cooccurrence_correlations",
     "diff_placements",
+    "get_planner",
     "get_strategy",
     "greedy_placement",
     "greedy_replicated_placement",
@@ -88,7 +100,9 @@ __all__ = [
     "local_search_placement",
     "load_problem",
     "min_size_pair_cost",
+    "plan",
     "random_hash_placement",
+    "register_planner",
     "repair_capacity",
     "round_best_of",
     "round_fractional",

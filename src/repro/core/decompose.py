@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.core.problem import ObjectId, PlacementProblem
 
 
@@ -64,14 +65,21 @@ def correlation_components(problem: PlacementProblem) -> list[list[ObjectId]]:
     Only pairs with positive objective weight connect objects (zero-
     weight pairs cannot affect any placement's cost).  Components are
     ordered by total byte size, largest first — the order a solver
-    wants to tackle them in.
+    wants to tackle them in, the best schedule for a worker pool
+    (longest job starts first), and the deterministic order the
+    parallel engine's per-component seed spawning relies on.
     """
-    dsu = UnionFind(problem.num_objects)
-    for (i, j), weight in zip(problem.pair_index, problem.pair_weights):
-        if weight > 0:
-            dsu.union(int(i), int(j))
-    groups = dsu.groups()
-    groups.sort(key=lambda g: (-float(problem.sizes[g].sum()), g[0]))
+    with obs.span("decompose", objects=problem.num_objects) as span:
+        dsu = UnionFind(problem.num_objects)
+        for (i, j), weight in zip(problem.pair_index, problem.pair_weights):
+            if weight > 0:
+                dsu.union(int(i), int(j))
+        groups = dsu.groups()
+        groups.sort(key=lambda g: (-float(problem.sizes[g].sum()), g[0]))
+        span.set(components=len(groups))
+    obs.gauge("decompose.components").set(len(groups))
+    if groups:
+        obs.gauge("decompose.largest_component").set(len(groups[0]))
     return [[problem.object_ids[i] for i in group] for group in groups]
 
 

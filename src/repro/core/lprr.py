@@ -15,7 +15,9 @@ evaluation (Section 4) runs them:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -24,11 +26,14 @@ from repro.core.decompose import component_subproblems
 from repro.core.greedy import greedy_placement
 from repro.core.hashing import hash_node
 from repro.core.importance import top_important
-from repro.core.lp import LPStats, solve_placement_lp
+from repro.core.lp import FractionalPlacement, LPStats, solve_placement_lp
 from repro.core.placement import Placement
 from repro.core.problem import ObjectId, PlacementProblem
 from repro.core.repair import repair_capacity
 from repro.core.rounding import RoundingResult, round_best_of
+
+if TYPE_CHECKING:  # imported lazily at runtime (repro.parallel imports core)
+    from repro.parallel.cache import PlanCache
 
 
 @dataclass(frozen=True)
@@ -47,6 +52,9 @@ class LPRRResult:
         repaired: Whether the rounded placement violated the effective
             capacities and was post-processed by
             :func:`repro.core.repair.repair_capacity`.
+        from_cache: Whether this result was served from a
+            :class:`~repro.parallel.cache.PlanCache` instead of being
+            computed (the LP solve and rounding were skipped).
     """
 
     placement: Placement
@@ -56,11 +64,25 @@ class LPRRResult:
     rounding: RoundingResult
     effective_capacities: np.ndarray
     repaired: bool
+    from_cache: bool = False
 
     @property
     def cost(self) -> float:
         """Communication cost of the final total placement."""
         return self.placement.communication_cost()
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (see :mod:`repro.core.serialization`)."""
+        from repro.core.serialization import lprr_result_to_dict
+
+        return lprr_result_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict, problem: PlacementProblem) -> "LPRRResult":
+        """Rebuild from :meth:`to_dict` output against its problem."""
+        from repro.core.serialization import lprr_result_from_dict
+
+        return lprr_result_from_dict(data, problem)
 
 
 class LPRRPlanner:
@@ -89,6 +111,20 @@ class LPRRPlanner:
             results under conservative capacities (components only
             interact through capacity, which the relaxation treats in
             expectation), drastically faster at wide scopes.
+        jobs: Execution engine selector.  ``None`` (default) is the
+            legacy serial path, byte-identical to pre-parallel releases
+            for the same seed.  Any integer ``>= 1`` selects the
+            deterministic parallel engine: rounding trials (and, with
+            ``decompose``, per-component LPs) use per-task seeds
+            spawned from ``seed``, run inline when ``jobs == 1`` and on
+            a process pool of that size when larger — the placement is
+            identical for every ``jobs`` value.  Negative means one
+            worker per CPU.
+        cache: Optional :class:`~repro.parallel.cache.PlanCache`.  When
+            set, whole plans and LP solutions are memoized by problem
+            fingerprint + configuration signature; a warm replan skips
+            the LP solve entirely and returns a result flagged
+            ``from_cache=True``.
 
     Example:
         >>> import numpy as np
@@ -113,6 +149,8 @@ class LPRRPlanner:
         hash_salt: str = "",
         repair: bool = True,
         decompose: bool = False,
+        jobs: int | None = None,
+        cache: "PlanCache | None" = None,
     ):
         if scope is not None and scope < 1:
             raise ValueError("scope must be positive (or None for full scope)")
@@ -127,9 +165,108 @@ class LPRRPlanner:
         self.hash_salt = hash_salt
         self.repair = repair
         self.decompose = decompose
+        self.jobs = jobs
+        self.cache = cache
+
+    def _signature(self) -> str:
+        """Canonical configuration signature for cache keying.
+
+        ``jobs`` itself is excluded: within one engine the result is
+        worker-count-independent by construction, so plans computed at
+        any parallelism are interchangeable.  The *engine* is included
+        because the legacy sequential-stream path and the spawned-seed
+        path round differently for the same seed.
+        """
+        return json.dumps(
+            {
+                "scope": self.scope,
+                "capacity_factor": self.capacity_factor,
+                "rounding_trials": self.rounding_trials,
+                "capacity_tolerance": self.capacity_tolerance,
+                "seed": self.seed,
+                "backend": self.backend,
+                "hash_salt": self.hash_salt,
+                "repair": self.repair,
+                "decompose": self.decompose,
+                "engine": "legacy" if self.jobs is None else "spawned-seeds",
+            },
+            sort_keys=True,
+        )
 
     def plan(self, problem: PlacementProblem) -> LPRRResult:
-        """Compute a correlation-aware placement for ``problem``."""
+        """Compute a correlation-aware placement for ``problem``.
+
+        With a cache configured, a fingerprint hit returns the stored
+        result (``from_cache=True``) without building or solving any
+        LP; otherwise the freshly planned result is stored before
+        returning.
+        """
+        if self.cache is None:
+            return self._plan(problem)
+
+        from repro.parallel.cache import problem_fingerprint, signature_key
+
+        key = signature_key(problem_fingerprint(problem), self._signature())
+        doc = self.cache.load("plan", key)
+        if doc is not None:
+            with obs.span("lprr.plan.cached", objects=problem.num_objects):
+                result = replace(
+                    LPRRResult.from_dict(doc, problem), from_cache=True
+                )
+            obs.counter("lprr.plans").inc()
+            return result
+        result = self._plan(problem)
+        self.cache.store("plan", key, result.to_dict())
+        return result
+
+    def _solve_lp(self, subproblem: PlacementProblem) -> FractionalPlacement:
+        """Solve the scoped LP, consulting the ``lp`` cache when set.
+
+        LP artifacts are keyed by subproblem + backend only, so a
+        replan with a different seed or trial count still reuses the
+        expensive solve and only re-rounds.
+        """
+        if self.cache is None:
+            return solve_placement_lp(subproblem, backend=self.backend)
+
+        from repro.core.serialization import (
+            fractional_from_dict,
+            fractional_to_dict,
+        )
+        from repro.parallel.cache import problem_fingerprint, signature_key
+
+        key = signature_key(
+            problem_fingerprint(subproblem),
+            json.dumps({"backend": self.backend}, sort_keys=True),
+        )
+        doc = self.cache.load("lp", key)
+        if doc is not None:
+            with obs.span("lprr.lp.cached", objects=subproblem.num_objects):
+                return fractional_from_dict(doc, subproblem)
+        fractional = solve_placement_lp(subproblem, backend=self.backend)
+        self.cache.store("lp", key, fractional_to_dict(fractional))
+        return fractional
+
+    def _round(self, fractional: FractionalPlacement) -> RoundingResult:
+        """Best-of-``k`` rounding via the engine selected by ``jobs``."""
+        if self.jobs is None:
+            return round_best_of(
+                fractional,
+                trials=self.rounding_trials,
+                rng=self.seed,
+                capacity_tolerance=self.capacity_tolerance,
+            )
+        from repro.parallel import parallel_round_best_of
+
+        return parallel_round_best_of(
+            fractional,
+            trials=self.rounding_trials,
+            root_seed=self.seed,
+            jobs=self.jobs,
+            capacity_tolerance=self.capacity_tolerance,
+        )
+
+    def _plan(self, problem: PlacementProblem) -> LPRRResult:
         scope = problem.num_objects if self.scope is None else min(
             self.scope, problem.num_objects
         )
@@ -159,15 +296,8 @@ class LPRRPlanner:
                 if self.decompose:
                     rounding, lower_bound, stats = self._plan_decomposed(subproblem)
                 else:
-                    fractional = solve_placement_lp(
-                        subproblem, backend=self.backend
-                    )
-                    rounding = round_best_of(
-                        fractional,
-                        trials=self.rounding_trials,
-                        rng=self.seed,
-                        capacity_tolerance=self.capacity_tolerance,
-                    )
+                    fractional = self._solve_lp(subproblem)
+                    rounding = self._round(fractional)
                     lower_bound = fractional.lower_bound
                     stats = fractional.stats
             scoped_placement = rounding.placement
@@ -225,7 +355,9 @@ class LPRRPlanner:
         Singleton components (no correlated partner) are hash-placed;
         component roundings are independent, exactly like the rounding
         of a monolithic LP whose optimal rows are identical within each
-        component.
+        component.  With ``jobs`` set, components fan out across the
+        process pool (see :func:`repro.parallel.solve_components`);
+        otherwise the legacy sequential loop runs.
         """
         assignment = np.empty(subproblem.num_objects, dtype=np.int64)
         components, leftovers = component_subproblems(
@@ -241,29 +373,53 @@ class LPRRPlanner:
         total_seconds = 0.0
         total_iterations = 0
         total_rounds = 0
-        base_seed = 0 if self.seed is None else self.seed
-        for index, component in enumerate(components):
-            with obs.span(
-                "lprr.component", index=index, objects=component.num_objects
-            ):
-                fractional = solve_placement_lp(component, backend=self.backend)
-                lower_bound += fractional.lower_bound
-                total_vars += fractional.stats.num_variables
-                total_cons += fractional.stats.num_constraints
-                total_nnz += fractional.stats.num_nonzeros
-                total_seconds += fractional.stats.solve_seconds
-                total_iterations += fractional.stats.iterations
-                rounding = round_best_of(
-                    fractional,
-                    trials=self.rounding_trials,
-                    rng=base_seed + index,
-                    capacity_tolerance=self.capacity_tolerance,
-                )
-            total_rounds += rounding.rounds
-            for local_i, obj in enumerate(component.object_ids):
-                assignment[subproblem.object_index(obj)] = (
-                    rounding.placement.assignment[local_i]
-                )
+        if self.jobs is None:
+            base_seed = 0 if self.seed is None else self.seed
+            for index, component in enumerate(components):
+                with obs.span(
+                    "lprr.component", index=index, objects=component.num_objects
+                ):
+                    fractional = self._solve_lp(component)
+                    lower_bound += fractional.lower_bound
+                    total_vars += fractional.stats.num_variables
+                    total_cons += fractional.stats.num_constraints
+                    total_nnz += fractional.stats.num_nonzeros
+                    total_seconds += fractional.stats.solve_seconds
+                    total_iterations += fractional.stats.iterations
+                    rounding = round_best_of(
+                        fractional,
+                        trials=self.rounding_trials,
+                        rng=base_seed + index,
+                        capacity_tolerance=self.capacity_tolerance,
+                    )
+                total_rounds += rounding.rounds
+                for local_i, obj in enumerate(component.object_ids):
+                    assignment[subproblem.object_index(obj)] = (
+                        rounding.placement.assignment[local_i]
+                    )
+        else:
+            from repro.parallel import solve_components
+
+            outcomes = solve_components(
+                components,
+                backend=self.backend,
+                trials=self.rounding_trials,
+                root_seed=self.seed,
+                jobs=self.jobs,
+                capacity_tolerance=self.capacity_tolerance,
+            )
+            for outcome in outcomes:
+                lower_bound += outcome.lower_bound
+                total_vars += outcome.stats.num_variables
+                total_cons += outcome.stats.num_constraints
+                total_nnz += outcome.stats.num_nonzeros
+                total_seconds += outcome.stats.solve_seconds
+                total_iterations += outcome.stats.iterations
+                total_rounds += outcome.rounds
+                for local_i, obj in enumerate(outcome.object_ids):
+                    assignment[subproblem.object_index(obj)] = (
+                        outcome.assignment[local_i]
+                    )
 
         merged = Placement(subproblem, assignment)
         stats = LPStats(

@@ -50,17 +50,34 @@ class RoundingResult:
         """Standard deviation of the trial costs (0 for one trial)."""
         return float(np.std(self.trial_costs))
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (see :mod:`repro.core.serialization`)."""
+        from repro.core.serialization import rounding_result_to_dict
+
+        return rounding_result_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict, problem) -> "RoundingResult":
+        """Rebuild from :meth:`to_dict` output against its problem."""
+        from repro.core.serialization import rounding_result_from_dict
+
+        return rounding_result_from_dict(data, problem)
+
 
 def round_fractional(
     fractional: FractionalPlacement,
-    rng: np.random.Generator | int | None = None,
+    rng: np.random.Generator | np.random.SeedSequence | int | None = None,
     max_rounds: int | None = None,
 ) -> tuple[Placement, int]:
     """Run Algorithm 2.1 once.
 
     Args:
         fractional: The LP solution to round.
-        rng: Seed or generator for reproducibility.
+        rng: Seed, :class:`~numpy.random.SeedSequence`, or generator
+            for reproducibility.  Parallel callers must pass a spawned
+            ``SeedSequence`` child or a dedicated generator per trial
+            (see :mod:`repro.parallel.seeds`); sharing one generator
+            across workers would correlate their streams.
         max_rounds: Safety cap on threshold rounds; defaults to
             ``4 * n * (ln t + 10)`` which the coupon-collector argument
             makes astronomically safe.
@@ -99,15 +116,21 @@ def round_fractional(
 def round_best_of(
     fractional: FractionalPlacement,
     trials: int = 10,
-    rng: np.random.Generator | int | None = None,
+    rng: np.random.Generator | np.random.SeedSequence | int | None = None,
     capacity_tolerance: float | None = None,
 ) -> RoundingResult:
     """Repeat the rounding and keep the cheapest acceptable placement.
 
+    All trials consume one sequential random stream, so the result
+    depends on trial order; this is the serial legacy path.  For the
+    worker-count-independent variant (per-trial spawned seeds, optional
+    process-pool fan-out) use
+    :func:`repro.parallel.parallel_round_best_of`.
+
     Args:
         fractional: The LP solution to round.
         trials: Number of independent rounding trials (``>= 1``).
-        rng: Seed or generator.
+        rng: Seed, :class:`~numpy.random.SeedSequence`, or generator.
         capacity_tolerance: When given, a trial is only eligible if its
             placement satisfies capacities within this relative
             tolerance; if no trial qualifies, the overall cheapest is

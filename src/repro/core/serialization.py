@@ -1,15 +1,30 @@
-"""JSON persistence for problems and placements.
+"""JSON persistence for problems, placements, and result objects.
 
 Offline optimization (the paper's model: heavy LP runs happen out of
 band) needs durable artifacts: the problem snapshot the optimizer saw
 and the placement it produced.  Both serialize to a stable JSON schema
 with embedded schema-version tags for forward compatibility.
+
+Beyond problems and placements, this module is the single source of
+truth for the ``to_dict()``/``from_dict()`` contract shared by the
+pipeline's result dataclasses — :class:`~repro.core.rounding.RoundingResult`,
+:class:`~repro.core.lprr.LPRRResult`,
+:class:`~repro.search.engine.EvaluationSummary`, and the LP's
+:class:`~repro.core.lp.FractionalPlacement` — so the CLI's JSON output,
+the plan cache (:mod:`repro.parallel.cache`), and experiment reports
+all speak one schema.  Result documents that embed a placement store it
+as an ``assignment`` array aligned with the problem's object order plus
+the stringified object ids for validation; ``from_dict`` therefore
+needs the original :class:`~repro.core.problem.PlacementProblem` (or an
+identically-ordered reconstruction) and raises
+:class:`~repro.exceptions.TraceFormatError` on any mismatch.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -18,8 +33,19 @@ from repro.core.problem import PlacementProblem
 from repro.core.resources import ResourceSpec
 from repro.exceptions import TraceFormatError
 
+if TYPE_CHECKING:  # imported lazily at runtime to avoid cycles
+    from repro.core.lp import FractionalPlacement
+    from repro.core.lprr import LPRRResult
+    from repro.core.rounding import RoundingResult
+    from repro.search.engine import EvaluationSummary
+
 PROBLEM_SCHEMA = "repro/problem/v1"
 PLACEMENT_SCHEMA = "repro/placement/v1"
+ROUNDING_RESULT_SCHEMA = "repro/rounding-result/v1"
+LPRR_RESULT_SCHEMA = "repro/lprr-result/v1"
+EVALUATION_SUMMARY_SCHEMA = "repro/evaluation-summary/v1"
+FRACTIONAL_SCHEMA = "repro/fractional/v1"
+PLAN_RESULT_SCHEMA = "repro/plan-result/v1"
 
 
 def _encode_capacity(value: float) -> float | None:
@@ -176,3 +202,230 @@ def load_placement(path: str | Path, problem: PlacementProblem) -> Placement:
         raise TraceFormatError(f"cannot read placement {path}: {exc}") from exc
     except json.JSONDecodeError as exc:
         raise TraceFormatError(f"invalid JSON in {path}: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Result dataclasses: the shared to_dict()/from_dict() contract
+# ----------------------------------------------------------------------
+def _check_schema(data: dict, expected: str) -> None:
+    if data.get("schema") != expected:
+        raise TraceFormatError(
+            f"expected schema {expected!r}, got {data.get('schema')!r}"
+        )
+
+
+def _check_objects(data: dict, problem: PlacementProblem) -> None:
+    """Validate that a result document aligns with ``problem``.
+
+    Documents store assignments by object *index*, so they are only
+    meaningful against a problem with the identical object order.  The
+    stringified ids ride along as a tripwire for misuse.
+    """
+    objects = data.get("objects")
+    if objects is None:
+        raise TraceFormatError("result document missing object list")
+    if len(objects) != problem.num_objects or any(
+        str(obj) != stored
+        for obj, stored in zip(problem.object_ids, objects)
+    ):
+        raise TraceFormatError(
+            "result document does not match the problem's object order"
+        )
+
+
+def _assignment_fields(placement: Placement) -> dict:
+    return {
+        "objects": [str(obj) for obj in placement.problem.object_ids],
+        "assignment": [int(k) for k in placement.assignment],
+    }
+
+
+def lp_stats_to_dict(stats: "LPStats") -> dict:  # noqa: F821 - lazy type
+    """An :class:`~repro.core.lp.LPStats` as a JSON-ready dict."""
+    return {
+        "num_variables": stats.num_variables,
+        "num_constraints": stats.num_constraints,
+        "num_nonzeros": stats.num_nonzeros,
+        "solve_seconds": stats.solve_seconds,
+        "iterations": stats.iterations,
+    }
+
+
+def lp_stats_from_dict(data: dict) -> "LPStats":  # noqa: F821
+    """Rebuild :class:`~repro.core.lp.LPStats` from its dict form."""
+    from repro.core.lp import LPStats
+
+    try:
+        return LPStats(
+            num_variables=int(data["num_variables"]),
+            num_constraints=int(data["num_constraints"]),
+            num_nonzeros=int(data["num_nonzeros"]),
+            solve_seconds=float(data["solve_seconds"]),
+            iterations=int(data["iterations"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(f"malformed LP stats: {exc}") from exc
+
+
+def rounding_result_to_dict(result: "RoundingResult") -> dict:
+    """A :class:`~repro.core.rounding.RoundingResult` as a dict."""
+    return {
+        "schema": ROUNDING_RESULT_SCHEMA,
+        "cost": float(result.cost),
+        "trials": int(result.trials),
+        "trial_costs": [float(c) for c in result.trial_costs],
+        "rounds": int(result.rounds),
+        "best_trial": int(result.best_trial),
+        **_assignment_fields(result.placement),
+    }
+
+
+def rounding_result_from_dict(
+    data: dict, problem: PlacementProblem
+) -> "RoundingResult":
+    """Rebuild a rounding result against the problem it was rounded on."""
+    from repro.core.rounding import RoundingResult
+
+    _check_schema(data, ROUNDING_RESULT_SCHEMA)
+    _check_objects(data, problem)
+    try:
+        return RoundingResult(
+            placement=Placement(
+                problem, np.asarray(data["assignment"], dtype=np.int64)
+            ),
+            cost=float(data["cost"]),
+            trials=int(data["trials"]),
+            trial_costs=tuple(float(c) for c in data["trial_costs"]),
+            rounds=int(data["rounds"]),
+            best_trial=int(data["best_trial"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(f"malformed rounding result: {exc}") from exc
+
+
+def lprr_result_to_dict(result: "LPRRResult") -> dict:
+    """An :class:`~repro.core.lprr.LPRRResult` as a dict.
+
+    The scoped subproblem is stored by object indices plus the
+    effective capacities, which is enough for ``from_dict`` to rebuild
+    the exact subproblem the rounding placement lives on.
+    """
+    problem = result.placement.problem
+    return {
+        "schema": LPRR_RESULT_SCHEMA,
+        "scope_indices": [
+            problem.object_index(obj) for obj in result.scope_objects
+        ],
+        "lp_lower_bound": float(result.lp_lower_bound),
+        "lp_stats": lp_stats_to_dict(result.lp_stats),
+        "effective_capacities": [
+            _encode_capacity(c) for c in result.effective_capacities
+        ],
+        "repaired": bool(result.repaired),
+        "rounding": rounding_result_to_dict(result.rounding),
+        **_assignment_fields(result.placement),
+    }
+
+
+def lprr_result_from_dict(data: dict, problem: PlacementProblem) -> "LPRRResult":
+    """Rebuild an LPRR result against the problem it planned."""
+    from repro.core.lprr import LPRRResult
+
+    _check_schema(data, LPRR_RESULT_SCHEMA)
+    _check_objects(data, problem)
+    try:
+        scope_objects = tuple(
+            problem.object_ids[int(i)] for i in data["scope_indices"]
+        )
+        capacities = np.asarray(
+            [_decode_capacity(c) for c in data["effective_capacities"]]
+        )
+        subproblem = problem.subproblem(scope_objects, capacities=capacities)
+        return LPRRResult(
+            placement=Placement(
+                problem, np.asarray(data["assignment"], dtype=np.int64)
+            ),
+            scope_objects=scope_objects,
+            lp_lower_bound=float(data["lp_lower_bound"]),
+            lp_stats=lp_stats_from_dict(data["lp_stats"]),
+            rounding=rounding_result_from_dict(data["rounding"], subproblem),
+            effective_capacities=capacities,
+            repaired=bool(data["repaired"]),
+        )
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise TraceFormatError(f"malformed LPRR result: {exc}") from exc
+
+
+def evaluation_summary_to_dict(summary: "EvaluationSummary") -> dict:
+    """An :class:`~repro.search.engine.EvaluationSummary` as a dict."""
+    return {
+        "schema": EVALUATION_SUMMARY_SCHEMA,
+        "queries": int(summary.queries),
+        "total_bytes": int(summary.total_bytes),
+        "total_hops": int(summary.total_hops),
+        "local_fraction": float(summary.local_fraction),
+        "mean_bytes_per_query": float(summary.mean_bytes_per_query),
+    }
+
+
+def evaluation_summary_from_dict(data: dict) -> "EvaluationSummary":
+    """Rebuild an evaluation summary from its dict form."""
+    from repro.search.engine import EvaluationSummary
+
+    _check_schema(data, EVALUATION_SUMMARY_SCHEMA)
+    try:
+        return EvaluationSummary(
+            queries=int(data["queries"]),
+            total_bytes=int(data["total_bytes"]),
+            total_hops=int(data["total_hops"]),
+            local_fraction=float(data["local_fraction"]),
+            mean_bytes_per_query=float(data["mean_bytes_per_query"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(f"malformed evaluation summary: {exc}") from exc
+
+
+def fractional_to_dict(fractional: "FractionalPlacement") -> dict:
+    """A :class:`~repro.core.lp.FractionalPlacement` as a dict.
+
+    Used by the plan cache's ``lp`` artifacts: the fractions matrix is
+    the expensive part of the pipeline, and round-tripping it exactly
+    lets a replan re-round without re-solving.
+    """
+    duals = fractional.capacity_duals
+    return {
+        "schema": FRACTIONAL_SCHEMA,
+        "objects": [str(obj) for obj in fractional.problem.object_ids],
+        "fractions": [[float(x) for x in row] for row in fractional.fractions],
+        "lower_bound": float(fractional.lower_bound),
+        "stats": lp_stats_to_dict(fractional.stats),
+        "capacity_duals": (
+            None if duals is None else [float(d) for d in duals]
+        ),
+    }
+
+
+def fractional_from_dict(
+    data: dict, problem: PlacementProblem
+) -> "FractionalPlacement":
+    """Rebuild a fractional LP solution against its problem."""
+    from repro.core.lp import FractionalPlacement
+
+    _check_schema(data, FRACTIONAL_SCHEMA)
+    _check_objects(data, problem)
+    try:
+        fractions = np.asarray(data["fractions"], dtype=float)
+        if fractions.shape != (problem.num_objects, problem.num_nodes):
+            raise TraceFormatError(
+                f"fractions shape {fractions.shape} does not match problem"
+            )
+        duals = data.get("capacity_duals")
+        return FractionalPlacement(
+            problem=problem,
+            fractions=fractions,
+            lower_bound=float(data["lower_bound"]),
+            stats=lp_stats_from_dict(data["stats"]),
+            capacity_duals=None if duals is None else np.asarray(duals, dtype=float),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(f"malformed fractional placement: {exc}") from exc

@@ -1,78 +1,277 @@
-"""Placement-strategy registry and correlation-oblivious controls.
+"""The Planner API: configurable planners returning rich results.
 
-Besides the paper's three strategies (random hashing, greedy,
-LPRR), two classic correlation-oblivious controls are provided —
-round-robin and best-fit-decreasing — so experiments can separate
-"correlation awareness" from mere "load balancing".
+This module is the registry of placement planners and the home of the
+unified planning surface:
+
+* :class:`PlanConfig` — every knob a planning run can carry (scope,
+  seed, rounding trials, LP backend, parallel ``jobs``, plan-cache
+  location), in one frozen dataclass.
+* :class:`PlanResult` — what a planning run returns: the placement plus
+  cost, wall-clock, diagnostics, and (for LPRR) the full
+  :class:`~repro.core.lprr.LPRRResult`.
+* :class:`Planner` — the protocol every planner satisfies:
+  ``planner(problem, *, config) -> PlanResult``.
+
+Besides the paper's three strategies (random hashing, greedy, LPRR),
+two classic correlation-oblivious controls are registered — round-robin
+and best-fit-decreasing — so experiments can separate "correlation
+awareness" from mere "load balancing".
+
+The pre-1.1 surface — bare ``PlacementStrategy`` callables mapping a
+problem straight to a :class:`~repro.core.placement.Placement`, looked
+up with :func:`get_strategy` — still works but is deprecated: the thin
+shims here emit :class:`DeprecationWarning` and will be removed two
+minor releases after 1.1 (see ``docs/API.md`` for the policy).  New
+code should use :func:`get_planner` / :func:`plan`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+import warnings
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Protocol
 
 import numpy as np
 
+from repro import obs
 from repro.core.greedy import greedy_placement
 from repro.core.hashing import random_hash_placement
+from repro.core.partial import scoped_placement
 from repro.core.placement import Placement
 from repro.core.problem import PlacementProblem
 from repro.exceptions import InfeasibleProblemError
 
+if TYPE_CHECKING:  # lazy at runtime: repro.parallel imports repro.core
+    from repro.parallel.cache import PlanCache
+
+
+# ----------------------------------------------------------------------
+# Configuration and results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlanConfig:
+    """Everything a planning run can be told, in one value.
+
+    The defaults reproduce the paper's evaluation setup (conservative
+    2x-average capacities, 10 rounding trials, 5% capacity tolerance)
+    on the legacy serial engine.  Planners ignore knobs they have no
+    use for — ``hash`` reads only ``hash_salt``, the classic controls
+    read nothing — so one config can drive a whole strategy comparison.
+
+    Attributes:
+        scope: Optimize only the top-``scope`` most important objects
+            (Section 3.1); ``None`` optimizes all of them.
+        seed: Root seed for every stochastic choice the planner makes.
+        rounding_trials: Best-of-``k`` randomized-rounding repetitions.
+        capacity_factor: Conservative per-node capacity as a multiple
+            of the scoped objects' average per-node load (the paper
+            uses 2.0); ``None`` keeps the problem's own capacities.
+        capacity_tolerance: Relative slack when judging feasibility.
+        backend: LP backend (``"auto"``, ``"highs"``, ``"highs-ipm"``,
+            or ``"simplex"``).
+        decompose: Solve one LP per correlation component.
+        hash_salt: Salt for hash placements (baseline and out-of-scope).
+        repair: Post-repair capacity-violating rounded placements.
+        jobs: Parallelism.  ``None`` selects the legacy serial engine
+            (byte-identical to pre-1.1 output for the same seed); an
+            integer ``>= 1`` selects the deterministic parallel engine,
+            whose placements are identical for every ``jobs`` value
+            (``1`` = inline serial fallback, ``>1`` = process pool,
+            negative = one worker per CPU).
+        cache_dir: Directory for the content-addressed plan cache;
+            ``None`` disables caching.
+        use_cache: Master switch; ``False`` ignores ``cache_dir``.
+    """
+
+    scope: int | None = None
+    seed: int = 0
+    rounding_trials: int = 10
+    capacity_factor: float | None = 2.0
+    capacity_tolerance: float = 0.05
+    backend: str = "auto"
+    decompose: bool = False
+    hash_salt: str = ""
+    repair: bool = True
+    jobs: int | None = None
+    cache_dir: str | Path | None = None
+    use_cache: bool = True
+
+    def with_options(self, **changes: Any) -> "PlanConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def make_cache(self) -> "PlanCache | None":
+        """The :class:`PlanCache` this config asks for, or ``None``."""
+        if self.cache_dir is None or not self.use_cache:
+            return None
+        from repro.parallel.cache import PlanCache
+
+        return PlanCache(self.cache_dir)
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """What a planning run produced, beyond the bare placement.
+
+    Attributes:
+        placement: The total placement over the full problem.
+        cost: Its communication cost (objective (1)).
+        planner: Registry name of the planner that produced it.
+        elapsed_seconds: Wall-clock of the planning run.
+        diagnostics: Planner-specific facts worth reporting — e.g. for
+            LPRR: ``lp_lower_bound``, ``repaired``, ``cache``
+            (``"hit"``/``"miss"``/``"off"``), ``jobs``.
+        details: The planner's full native result when it has one
+            (:class:`~repro.core.lprr.LPRRResult` for ``lprr``),
+            else ``None``.
+    """
+
+    placement: Placement
+    cost: float
+    planner: str
+    elapsed_seconds: float
+    diagnostics: dict[str, Any] = field(default_factory=dict)
+    details: Any | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready form sharing the serialization-module schema."""
+        from repro.core.serialization import PLAN_RESULT_SCHEMA
+
+        doc = {
+            "schema": PLAN_RESULT_SCHEMA,
+            "planner": self.planner,
+            "cost": float(self.cost),
+            "elapsed_seconds": float(self.elapsed_seconds),
+            "diagnostics": dict(self.diagnostics),
+            "objects": [
+                str(obj) for obj in self.placement.problem.object_ids
+            ],
+            "assignment": [int(k) for k in self.placement.assignment],
+        }
+        if self.details is not None and hasattr(self.details, "to_dict"):
+            doc["details"] = self.details.to_dict()
+        return doc
+
+
+class Planner(Protocol):
+    """Anything that plans a placement under a :class:`PlanConfig`."""
+
+    def __call__(
+        self, problem: PlacementProblem, *, config: PlanConfig
+    ) -> PlanResult: ...
+
 
 class PlacementStrategy(Protocol):
-    """Anything that maps a problem to a total placement."""
+    """Deprecated: the pre-1.1 bare-callable strategy surface."""
 
     def __call__(self, problem: PlacementProblem) -> Placement: ...
 
 
-_REGISTRY: dict[str, PlacementStrategy] = {}
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_PLANNERS: dict[str, Planner] = {}
+_LEGACY: dict[str, PlacementStrategy] = {}
 
 
-def register_strategy(name: str) -> Callable[[PlacementStrategy], PlacementStrategy]:
-    """Decorator registering a strategy under ``name``."""
+def register_planner(name: str) -> Callable[[Planner], Planner]:
+    """Decorator registering a planner under ``name``."""
 
-    def decorator(func: PlacementStrategy) -> PlacementStrategy:
-        if name in _REGISTRY:
-            raise ValueError(f"strategy {name!r} already registered")
-        _REGISTRY[name] = func
+    def decorator(func: Planner) -> Planner:
+        if name in _PLANNERS:
+            raise ValueError(f"planner {name!r} already registered")
+        _PLANNERS[name] = func
         return func
 
     return decorator
 
 
-def get_strategy(name: str) -> PlacementStrategy:
-    """Look up a registered strategy by name."""
+def get_planner(name: str) -> Planner:
+    """Look up a registered planner by name."""
     try:
-        return _REGISTRY[name]
+        return _PLANNERS[name]
     except KeyError:
         raise KeyError(
-            f"unknown strategy {name!r}; available: {sorted(_REGISTRY)}"
+            f"unknown planner {name!r}; available: {sorted(_PLANNERS)}"
         ) from None
 
 
-def available_strategies() -> list[str]:
-    """Names of all registered strategies."""
-    return sorted(_REGISTRY)
+def available_planners() -> list[str]:
+    """Names of all registered planners."""
+    return sorted(_PLANNERS)
 
 
-@register_strategy("hash")
-def _hash(problem: PlacementProblem) -> Placement:
-    return random_hash_placement(problem)
+def plan(
+    problem: PlacementProblem,
+    planner: str = "lprr",
+    config: PlanConfig | None = None,
+) -> PlanResult:
+    """One-call convenience: plan ``problem`` with a named planner."""
+    return get_planner(planner)(problem, config=config or PlanConfig())
 
 
-@register_strategy("greedy")
-def _greedy(problem: PlacementProblem) -> Placement:
-    return greedy_placement(problem)
+def _finish(
+    name: str,
+    placement: Placement,
+    elapsed: float,
+    diagnostics: dict[str, Any] | None = None,
+    details: Any | None = None,
+) -> PlanResult:
+    cost = placement.communication_cost()
+    obs.counter("planner.plans").inc()
+    obs.histogram("planner.plan_seconds").observe(elapsed)
+    return PlanResult(
+        placement=placement,
+        cost=cost,
+        planner=name,
+        elapsed_seconds=elapsed,
+        diagnostics={"feasible": placement.is_feasible(), **(diagnostics or {})},
+        details=details,
+    )
 
 
-@register_strategy("round_robin")
-def round_robin_placement(problem: PlacementProblem) -> Placement:
-    """Assign objects cyclically: object ``i`` to node ``i mod n``."""
+def _simple_planner(name: str, place: Callable[[PlacementProblem, PlanConfig], Placement]):
+    """Register a planner around a config-aware placement function."""
+
+    @register_planner(name)
+    def planner(
+        problem: PlacementProblem, *, config: PlanConfig = PlanConfig()
+    ) -> PlanResult:
+        with obs.timed("plan", planner=name) as span:
+            placement = place(problem, config)
+        return _finish(name, placement, span.duration)
+
+    return planner
+
+
+# ----------------------------------------------------------------------
+# Built-in planners
+# ----------------------------------------------------------------------
+_simple_planner(
+    "hash", lambda problem, config: random_hash_placement(problem, config.hash_salt)
+)
+
+_simple_planner(
+    "greedy",
+    lambda problem, config: scoped_placement(
+        problem,
+        config.scope,
+        greedy_placement,
+        capacity_factor=config.capacity_factor,
+        hash_salt=config.hash_salt,
+    ),
+)
+
+
+def _round_robin(problem: PlacementProblem) -> Placement:
     assignment = np.arange(problem.num_objects, dtype=np.int64) % problem.num_nodes
     return Placement(problem, assignment)
 
 
-@register_strategy("best_fit_decreasing")
+_simple_planner("round_robin", lambda problem, config: _round_robin(problem))
+
+
 def best_fit_decreasing_placement(
     problem: PlacementProblem, strict_capacity: bool = False
 ) -> Placement:
@@ -101,25 +300,157 @@ def best_fit_decreasing_placement(
     return Placement(problem, assignment)
 
 
-@register_strategy("spectral")
-def _spectral(problem: PlacementProblem) -> Placement:
+_simple_planner(
+    "best_fit_decreasing",
+    lambda problem, config: best_fit_decreasing_placement(problem),
+)
+
+
+def _spectral(problem: PlacementProblem, config: PlanConfig) -> Placement:
     # Imported lazily: spectral pulls in dense linear algebra.
     from repro.core.spectral import spectral_placement
 
     return spectral_placement(problem)
 
 
-@register_strategy("local_search")
-def _local_search(problem: PlacementProblem) -> Placement:
+_simple_planner("spectral", _spectral)
+
+
+def _local_search(problem: PlacementProblem, config: PlanConfig) -> Placement:
     # Imported lazily: local_search composes greedy as its start.
+    from repro.core.local_search import local_search_placement
+
+    return local_search_placement(problem, rng=config.seed)
+
+
+_simple_planner("local_search", _local_search)
+
+
+@register_planner("lprr")
+def _lprr_planner(
+    problem: PlacementProblem, *, config: PlanConfig = PlanConfig()
+) -> PlanResult:
+    # Imported lazily to avoid a cycle (lprr composes other strategies).
+    from repro.core.lprr import LPRRPlanner
+
+    cache = config.make_cache()
+    planner = LPRRPlanner(
+        scope=config.scope,
+        capacity_factor=config.capacity_factor,
+        rounding_trials=config.rounding_trials,
+        capacity_tolerance=config.capacity_tolerance,
+        seed=config.seed,
+        backend=config.backend,
+        hash_salt=config.hash_salt,
+        repair=config.repair,
+        decompose=config.decompose,
+        jobs=config.jobs,
+        cache=cache,
+    )
+    with obs.timed("plan", planner="lprr") as span:
+        result = planner.plan(problem)
+    cache_state = "off" if cache is None else ("hit" if result.from_cache else "miss")
+    diagnostics = {
+        "lp_lower_bound": float(result.lp_lower_bound),
+        "scope": len(result.scope_objects),
+        "rounding_trials": result.rounding.trials,
+        "repaired": result.repaired,
+        "jobs": config.jobs,
+        "cache": cache_state,
+    }
+    return _finish("lprr", result.placement, span.duration, diagnostics, result)
+
+
+# ----------------------------------------------------------------------
+# Deprecated pre-1.1 shims
+# ----------------------------------------------------------------------
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} (see docs/API.md for the "
+        "deprecation policy)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def register_strategy(name: str) -> Callable[[PlacementStrategy], PlacementStrategy]:
+    """Deprecated: register an old-style ``problem -> Placement`` callable.
+
+    The callable is also wrapped into a :class:`Planner` (its config is
+    ignored) so it shows up in :func:`available_planners`.
+    """
+    _deprecated("register_strategy", "register_planner")
+
+    def decorator(func: PlacementStrategy) -> PlacementStrategy:
+        if name in _LEGACY or name in _PLANNERS:
+            raise ValueError(f"strategy {name!r} already registered")
+        _LEGACY[name] = func
+
+        @register_planner(name)
+        def adapter(
+            problem: PlacementProblem, *, config: PlanConfig = PlanConfig()
+        ) -> PlanResult:
+            with obs.timed("plan", planner=name) as span:
+                placement = func(problem)
+            return _finish(name, placement, span.duration)
+
+        return func
+
+    return decorator
+
+
+def get_strategy(name: str) -> PlacementStrategy:
+    """Deprecated: look up a bare ``problem -> Placement`` callable.
+
+    Returns the exact pre-1.1 callable for the built-in names, so
+    legacy callers keep byte-identical behavior.
+    """
+    _deprecated("get_strategy", "get_planner")
+    try:
+        return _LEGACY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {name!r}; available: {sorted(_LEGACY)}"
+        ) from None
+
+
+def available_strategies() -> list[str]:
+    """Deprecated: names of all old-style strategies."""
+    _deprecated("available_strategies", "available_planners")
+    return sorted(_LEGACY)
+
+
+def round_robin_placement(problem: PlacementProblem) -> Placement:
+    """Assign objects cyclically: object ``i`` to node ``i mod n``."""
+    return _round_robin(problem)
+
+
+def _legacy_lprr(problem: PlacementProblem) -> Placement:
+    from repro.core.lprr import LPRRPlanner
+
+    return LPRRPlanner(seed=0).plan(problem).placement
+
+
+def _legacy_local_search(problem: PlacementProblem) -> Placement:
     from repro.core.local_search import local_search_placement
 
     return local_search_placement(problem, rng=0)
 
 
-@register_strategy("lprr")
-def _lprr(problem: PlacementProblem) -> Placement:
-    # Imported lazily to avoid a cycle (lprr composes other strategies).
-    from repro.core.lprr import LPRRPlanner
+def _legacy_spectral(problem: PlacementProblem) -> Placement:
+    from repro.core.spectral import spectral_placement
 
-    return LPRRPlanner(seed=0).plan(problem).placement
+    return spectral_placement(problem)
+
+
+_LEGACY.update(
+    {
+        "hash": random_hash_placement,
+        "greedy": greedy_placement,
+        "round_robin": round_robin_placement,
+        "best_fit_decreasing": best_fit_decreasing_placement,
+        "spectral": _legacy_spectral,
+        "local_search": _legacy_local_search,
+        "lprr": _legacy_lprr,
+    }
+)

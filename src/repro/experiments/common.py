@@ -9,15 +9,13 @@ minutes; EXPERIMENTS.md records the shape comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import lru_cache
+from typing import Any
 
-from repro.core.greedy import greedy_placement
-from repro.core.hashing import random_hash_placement
-from repro.core.lprr import LPRRPlanner
-from repro.core.partial import scoped_placement
 from repro.core.placement import Placement
 from repro.core.problem import PlacementProblem
+from repro.core.strategies import PlanConfig, PlanResult, get_planner
 from repro.search.engine import DistributedSearchEngine, build_placement_problem
 from repro.search.index import InvertedIndex
 from repro.search.query import QueryLog
@@ -59,6 +57,12 @@ class CaseStudy:
         log: Period-one query log (drives placement and evaluation).
         log_period2: Period-two log from the drifted model (stability
             analysis only).
+        planning: Base :class:`~repro.core.strategies.PlanConfig` for
+            every placement this study computes.  The workload seed and
+            per-call scope/trials are overlaid on it, so setting e.g.
+            ``planning=PlanConfig(jobs=4, cache_dir="...")`` parallelizes
+            and caches the whole experiment grid without touching any
+            figure code.  The default is the legacy serial engine.
     """
 
     config: CaseStudyConfig
@@ -66,10 +70,15 @@ class CaseStudy:
     model: QueryWorkloadModel
     log: QueryLog
     log_period2: QueryLog
+    planning: PlanConfig = field(default_factory=PlanConfig)
     _problems: dict = field(default_factory=dict, repr=False)
 
     @classmethod
-    def build(cls, config: CaseStudyConfig = CaseStudyConfig()) -> "CaseStudy":
+    def build(
+        cls,
+        config: CaseStudyConfig = CaseStudyConfig(),
+        planning: PlanConfig | None = None,
+    ) -> "CaseStudy":
         """Generate corpus, index, and both query-log periods."""
         corpus = generate_corpus(
             config.num_documents,
@@ -90,7 +99,7 @@ class CaseStudy:
         log = model.generate(config.num_queries, rng=config.seed)
         drifted = model.drifted(config.drift_fraction, seed=config.seed + 1)
         log_period2 = drifted.generate(config.num_queries, rng=config.seed + 2)
-        return cls(config, index, model, log, log_period2)
+        return cls(config, index, model, log, log_period2, planning or PlanConfig())
 
     def placement_problem(self, num_nodes: int) -> PlacementProblem:
         """The CCA instance for a given system size (cached).
@@ -109,32 +118,37 @@ class CaseStudy:
         return self._problems[num_nodes]
 
     # ------------------------------------------------------------------
-    # The paper's three placement strategies
+    # The paper's three placement strategies (via the Planner registry)
     # ------------------------------------------------------------------
+    def plan_with(
+        self, planner: str, num_nodes: int, **overrides: Any
+    ) -> PlanResult:
+        """Run a registered planner on this study's problem.
+
+        The study's ``planning`` config is used with the workload seed
+        and any ``overrides`` applied on top, so all placements across
+        an experiment derive from one configuration.
+        """
+        config = replace(self.planning, seed=self.config.seed, **overrides)
+        return get_planner(planner)(
+            self.placement_problem(num_nodes), config=config
+        )
+
     def place_hash(self, num_nodes: int) -> Placement:
         """Random MD5-hash placement (baseline)."""
-        return random_hash_placement(self.placement_problem(num_nodes))
+        return self.plan_with("hash", num_nodes).placement
 
     def place_greedy(self, num_nodes: int, scope: int | None) -> Placement:
         """Greedy correlation-aware placement at an optimization scope."""
-        return scoped_placement(
-            self.placement_problem(num_nodes),
-            scope,
-            greedy_placement,
-            capacity_factor=2.0,
-        )
+        return self.plan_with("greedy", num_nodes, scope=scope).placement
 
     def place_lprr(
         self, num_nodes: int, scope: int | None, rounding_trials: int = 10
     ) -> Placement:
         """LPRR placement at an optimization scope."""
-        planner = LPRRPlanner(
-            scope=scope,
-            capacity_factor=2.0,
-            rounding_trials=rounding_trials,
-            seed=self.config.seed,
-        )
-        return planner.plan(self.placement_problem(num_nodes)).placement
+        return self.plan_with(
+            "lprr", num_nodes, scope=scope, rounding_trials=rounding_trials
+        ).placement
 
     # ------------------------------------------------------------------
     # Evaluation

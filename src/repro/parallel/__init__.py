@@ -1,0 +1,49 @@
+"""repro.parallel — the parallel planning execution layer.
+
+Three independent levers, all deterministic for a fixed root seed:
+
+* **Trial fan-out** — :func:`parallel_round_best_of` runs best-of-``k``
+  randomized-rounding trials across a process pool, reducing over
+  ``(cost, trial_index)`` so the result is identical for every worker
+  count (``jobs=1`` is a poolless inline fallback).
+* **Component fan-out** — :func:`solve_components` solves the
+  correlation graph's per-component LPs concurrently.
+* **Plan cache** — :class:`PlanCache` memoizes LP solutions and whole
+  LPRR results by content fingerprint, so replans of an unchanged
+  problem skip the solve entirely.
+
+See ``docs/PARALLELISM.md`` for the worker model, the seeding scheme,
+and cache keying.
+"""
+
+from repro.parallel.cache import PlanCache, problem_fingerprint, signature_key
+from repro.parallel.components import ComponentOutcome, solve_components
+from repro.parallel.rounding import (
+    TrialOutcome,
+    parallel_round_best_of,
+    select_best,
+)
+from repro.parallel.runner import (
+    TaskRunner,
+    chunk_evenly,
+    record_pool_metrics,
+    resolve_jobs,
+)
+from repro.parallel.seeds import spawn_generators, spawn_seed_sequences
+
+__all__ = [
+    "ComponentOutcome",
+    "PlanCache",
+    "TaskRunner",
+    "TrialOutcome",
+    "chunk_evenly",
+    "parallel_round_best_of",
+    "problem_fingerprint",
+    "record_pool_metrics",
+    "resolve_jobs",
+    "select_best",
+    "signature_key",
+    "solve_components",
+    "spawn_generators",
+    "spawn_seed_sequences",
+]

@@ -1,0 +1,161 @@
+"""Best-of-``k`` randomized rounding fanned out across workers.
+
+Algorithm 2.1's repeated trials (Section 2.3) are embarrassingly
+parallel: each trial needs only the fractional LP solution and its own
+random stream.  :func:`parallel_round_best_of` gives every trial a
+:class:`~numpy.random.SeedSequence` child keyed by its global trial
+index (see :mod:`repro.parallel.seeds`), runs contiguous trial batches
+on a :class:`~repro.parallel.runner.TaskRunner`, and reduces over
+``(cost, trial_index)`` — so the selected placement is a pure function
+of ``(fractional, trials, root_seed)`` and *never* of the worker count.
+
+The selection rule mirrors :func:`repro.core.rounding.round_best_of`:
+among capacity-respecting trials (when a tolerance is given) the
+cheapest wins, earliest index breaking ties; if no trial respects
+capacity, the overall cheapest is returned.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.core.lp import FractionalPlacement
+from repro.core.placement import Placement
+from repro.core.rounding import RoundingResult, round_fractional
+from repro.parallel.runner import TaskRunner, chunk_evenly, record_pool_metrics
+from repro.parallel.seeds import spawn_seed_sequences
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One rounding trial's result, reduced to what selection needs."""
+
+    index: int
+    cost: float
+    rounds: int
+    feasible: bool
+    assignment: np.ndarray
+
+
+def _run_trial_batch(
+    task: tuple[FractionalPlacement, list, int, float | None],
+) -> tuple[list[TrialOutcome], float]:
+    """Run a contiguous batch of trials (one pool task).
+
+    Batching amortizes the per-task cost of pickling the fractional
+    solution: a worker receives it once per batch, not once per trial.
+    Returns the outcomes plus the batch's wall-clock, which the parent
+    folds into the pool-utilization gauge.
+    """
+    fractional, seed_seqs, start_index, tolerance = task
+    started = time.perf_counter()
+    outcomes = []
+    for offset, seed_seq in enumerate(seed_seqs):
+        placement, rounds = round_fractional(
+            fractional, np.random.default_rng(seed_seq)
+        )
+        outcomes.append(
+            TrialOutcome(
+                index=start_index + offset,
+                cost=placement.communication_cost(),
+                rounds=rounds,
+                feasible=tolerance is None or placement.is_feasible(tolerance),
+                assignment=placement.assignment,
+            )
+        )
+    return outcomes, time.perf_counter() - started
+
+
+def select_best(
+    outcomes: list[TrialOutcome], capacity_tolerance: float | None
+) -> TrialOutcome:
+    """The winning trial under the best-of-``k`` selection rule."""
+    if not outcomes:
+        raise ValueError("no trial outcomes to select from")
+    pool = outcomes
+    if capacity_tolerance is not None:
+        feasible = [o for o in outcomes if o.feasible]
+        if feasible:
+            pool = feasible
+    return min(pool, key=lambda o: (o.cost, o.index))
+
+
+def parallel_round_best_of(
+    fractional: FractionalPlacement,
+    trials: int = 10,
+    root_seed: int | None = 0,
+    jobs: int | None = 1,
+    capacity_tolerance: float | None = None,
+    runner: TaskRunner | None = None,
+) -> RoundingResult:
+    """Deterministic best-of-``k`` rounding, fanned out over workers.
+
+    Args:
+        fractional: The LP solution to round.
+        trials: Number of independent rounding trials (``>= 1``).
+        root_seed: Root of the per-trial seed tree; the result is
+            identical for every ``jobs`` value given the same root.
+        jobs: Worker processes; ``1`` runs inline (serial fallback).
+        capacity_tolerance: Same soft-feasibility rule as
+            :func:`repro.core.rounding.round_best_of`.
+        runner: Reuse an existing :class:`TaskRunner` (e.g. one pool
+            shared across pipeline stages) instead of creating one.
+
+    Returns:
+        A :class:`~repro.core.rounding.RoundingResult`; ``trial_costs``
+        is ordered by global trial index.
+    """
+    if trials < 1:
+        raise ValueError("trials must be at least 1")
+
+    seed_seqs = spawn_seed_sequences(root_seed, trials)
+    owns_runner = runner is None
+    if owns_runner:
+        runner = TaskRunner(jobs)
+    assert runner is not None
+    batches = chunk_evenly(list(range(trials)), runner.jobs)
+    tasks = [
+        (fractional, [seed_seqs[i] for i in batch], batch[0], capacity_tolerance)
+        for batch in batches
+    ]
+
+    cost_hist = obs.histogram("rounding.trial_cost")
+    rounds_hist = obs.histogram("rounding.trial_rounds")
+    try:
+        with obs.timed(
+            "rounding.parallel", trials=trials, jobs=runner.jobs
+        ) as rounding_span:
+            results = runner.map(_run_trial_batch, tasks)
+            outcomes = [o for batch_outcomes, _ in results for o in batch_outcomes]
+            busy = sum(duration for _, duration in results)
+            best = select_best(outcomes, capacity_tolerance)
+            rounding_span.set(
+                best_trial=best.index,
+                best_cost=float(best.cost),
+                feasible=best.feasible,
+            )
+    finally:
+        if owns_runner:
+            runner.close()
+
+    for outcome in outcomes:
+        cost_hist.observe(outcome.cost)
+        rounds_hist.observe(outcome.rounds)
+    obs.counter("rounding.trials").inc(trials)
+    wall = rounding_span.duration
+    if wall > 0:
+        obs.gauge("rounding.trials_per_second").set(trials / wall)
+    record_pool_metrics(wall, busy, runner.jobs, len(tasks))
+
+    return RoundingResult(
+        placement=Placement(fractional.problem, best.assignment),
+        cost=float(best.cost),
+        trials=trials,
+        trial_costs=tuple(o.cost for o in outcomes),
+        rounds=best.rounds,
+        best_trial=best.index,
+    )

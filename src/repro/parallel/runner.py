@@ -1,0 +1,125 @@
+"""Task execution: serial inline or across a process pool.
+
+:class:`TaskRunner` is the one place the codebase touches
+``concurrent.futures``.  ``jobs=1`` runs every task inline in the
+calling process — no pool, no pickling, no import-time side effects —
+which is the serial fallback the planner uses by default.  ``jobs>1``
+lazily creates a :class:`~concurrent.futures.ProcessPoolExecutor` and
+maps tasks across it in submission order, so callers can rely on
+``results[i]`` corresponding to ``items[i]`` regardless of worker
+scheduling.
+
+Functions mapped across a pool must be picklable (module-level
+functions; bound arguments go in the item tuples).  Observability
+inside workers is a no-op — child processes never see the parent's
+registry — so worker functions report their own wall-clock in their
+return payload and the parent aggregates pool metrics via
+:func:`record_pool_metrics`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Sequence
+
+from repro import obs
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a jobs request: ``None``/0 → 1, negative → cpu count."""
+    if jobs is None or jobs == 0:
+        return 1
+    if jobs < 0:
+        return max(1, os.cpu_count() or 1)
+    return int(jobs)
+
+
+class TaskRunner:
+    """Maps functions over items, inline or on a process pool.
+
+    Args:
+        jobs: Worker count.  ``1`` executes inline (serial fallback);
+            ``>1`` uses a process pool of that size; negative means
+            "one per CPU".
+
+    Use as a context manager so the pool (if any) is torn down::
+
+        with TaskRunner(jobs=4) as runner:
+            results = runner.map(work, items)
+    """
+
+    def __init__(self, jobs: int | None = 1):
+        self.jobs = resolve_jobs(jobs)
+        self._pool: ProcessPoolExecutor | None = None
+
+    def __enter__(self) -> "TaskRunner":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the pool, if one was created."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        """Apply ``fn`` to every item, preserving item order.
+
+        With one worker (or at most one item) this is a plain inline
+        loop; otherwise tasks are distributed across the pool.  Either
+        way the result list aligns index-for-index with ``items``.
+        """
+        tasks = list(items)
+        obs.gauge("parallel.jobs").set(self.jobs)
+        obs.counter("parallel.tasks").inc(len(tasks))
+        if self.jobs == 1 or len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        pool = self._ensure_pool()
+        return list(pool.map(fn, tasks))
+
+
+def chunk_evenly(items: Sequence[Any], chunks: int) -> list[list[Any]]:
+    """Split ``items`` into at most ``chunks`` contiguous, balanced runs.
+
+    The first ``len(items) % chunks`` runs get one extra element, so
+    sizes differ by at most one.  Empty runs are never returned.
+    """
+    if chunks < 1:
+        raise ValueError("chunks must be positive")
+    n = len(items)
+    chunks = min(chunks, n) or 1
+    base, extra = divmod(n, chunks)
+    out: list[list[Any]] = []
+    start = 0
+    for c in range(chunks):
+        size = base + (1 if c < extra else 0)
+        if size:
+            out.append(list(items[start : start + size]))
+        start += size
+    return out
+
+
+def record_pool_metrics(
+    wall_seconds: float, busy_seconds: float, jobs: int, tasks: int
+) -> None:
+    """Publish pool-health gauges for one parallel section.
+
+    ``parallel.pool_utilization`` is worker busy-time over available
+    worker-time (``wall * jobs``) — 1.0 means every worker computed for
+    the whole section, values near ``1/jobs`` mean the section was
+    effectively serial (one long task, or pool startup dominated).
+    """
+    obs.gauge("parallel.jobs").set(jobs)
+    obs.gauge("parallel.last_tasks").set(tasks)
+    if wall_seconds > 0 and jobs > 0:
+        obs.gauge("parallel.pool_utilization").set(
+            min(1.0, busy_seconds / (wall_seconds * jobs))
+        )

@@ -1,0 +1,44 @@
+"""Deterministic per-task seed derivation for parallel workers.
+
+Parallel randomized rounding must satisfy two contracts at once:
+
+1. **Worker-count independence** — the same root seed must produce the
+   same placement whether the trials run inline (``jobs=1``), on two
+   workers, or on sixteen.
+2. **Stream independence** — no two trials may share (or overlap) a
+   random stream, or "independent" trials silently correlate and the
+   best-of-``k`` variance reduction evaporates.
+
+Both fall out of :class:`numpy.random.SeedSequence`: spawning ``k``
+children of ``SeedSequence(root)`` yields ``k`` statistically
+independent, reproducible streams whose identity depends only on
+``(root, child_index)`` — never on which process consumes them.  Each
+task is keyed by its *global index*, so any partition of tasks onto
+workers replays identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def spawn_seed_sequences(
+    root_seed: int | None, count: int
+) -> list[np.random.SeedSequence]:
+    """``count`` independent child seed sequences of ``root_seed``.
+
+    Child ``i`` is a pure function of ``(root_seed, i)``; the list is
+    safe to slice arbitrarily across workers.  A ``None`` root seed is
+    normalized to 0 so cached and replayed runs stay reproducible.
+    """
+    if count < 0:
+        raise ValueError("count must be nonnegative")
+    root = 0 if root_seed is None else int(root_seed)
+    return list(np.random.SeedSequence(root).spawn(count))
+
+
+def spawn_generators(
+    root_seed: int | None, count: int
+) -> list[np.random.Generator]:
+    """Like :func:`spawn_seed_sequences` but materialized as generators."""
+    return [np.random.default_rng(ss) for ss in spawn_seed_sequences(root_seed, count)]

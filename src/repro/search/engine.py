@@ -123,6 +123,19 @@ class EvaluationSummary:
             f"{self.mean_bytes_per_query:.1f} bytes/query"
         )
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (see :mod:`repro.core.serialization`)."""
+        from repro.core.serialization import evaluation_summary_to_dict
+
+        return evaluation_summary_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EvaluationSummary":
+        """Rebuild from :meth:`to_dict` output."""
+        from repro.core.serialization import evaluation_summary_from_dict
+
+        return evaluation_summary_from_dict(data)
+
 
 class DistributedSearchEngine:
     """Keyword indices spread over nodes, with a lookup table.

@@ -1,0 +1,222 @@
+"""Tests for the Planner API and the deprecated strategy shims."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import PlacementProblem
+from repro.core.strategies import (
+    PlanConfig,
+    PlanResult,
+    available_planners,
+    available_strategies,
+    get_planner,
+    get_strategy,
+    plan,
+    register_planner,
+    register_strategy,
+)
+
+
+@pytest.fixture
+def problem():
+    return PlacementProblem.build(
+        objects={"a": 2.0, "b": 2.0, "c": 2.0, "d": 2.0},
+        nodes={0: 5.0, 1: 5.0},
+        correlations={("a", "b"): 0.4, ("c", "d"): 0.4, ("a", "c"): 0.01},
+    )
+
+
+class TestPlanConfig:
+    def test_defaults_select_legacy_engine(self):
+        config = PlanConfig()
+        assert config.jobs is None
+        assert config.cache_dir is None
+        assert config.make_cache() is None
+
+    def test_with_options(self):
+        config = PlanConfig().with_options(scope=10, jobs=2)
+        assert config.scope == 10
+        assert config.jobs == 2
+        assert config.seed == 0  # untouched
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PlanConfig().seed = 5
+
+    def test_make_cache(self, tmp_path):
+        config = PlanConfig(cache_dir=tmp_path)
+        cache = config.make_cache()
+        assert cache is not None
+        assert config.with_options(use_cache=False).make_cache() is None
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_planners()
+        assert {
+            "hash",
+            "greedy",
+            "lprr",
+            "round_robin",
+            "best_fit_decreasing",
+            "spectral",
+            "local_search",
+        } <= set(names)
+        assert names == sorted(names)
+
+    def test_unknown_planner(self):
+        with pytest.raises(KeyError, match="unknown planner"):
+            get_planner("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_planner("lprr")(lambda problem, *, config: None)
+
+
+class TestPlanResults:
+    def test_every_planner_returns_plan_result(self, problem):
+        for name in available_planners():
+            result = plan(problem, name)
+            assert isinstance(result, PlanResult)
+            assert result.planner == name
+            assert result.cost == pytest.approx(
+                result.placement.communication_cost()
+            )
+            assert result.elapsed_seconds >= 0
+            assert "feasible" in result.diagnostics
+
+    def test_lprr_diagnostics(self, problem):
+        result = plan(problem, "lprr", PlanConfig(seed=0))
+        assert result.diagnostics["cache"] == "off"
+        assert result.diagnostics["jobs"] is None
+        assert "lp_lower_bound" in result.diagnostics
+        assert result.details is not None
+        assert result.details.rounding.trials == 10
+
+    def test_config_threads_through(self, problem):
+        result = plan(problem, "lprr", PlanConfig(seed=0, rounding_trials=3))
+        assert result.details.rounding.trials == 3
+
+    def test_to_dict(self, problem):
+        doc = plan(problem, "lprr", PlanConfig(seed=0)).to_dict()
+        assert doc["schema"] == "repro/plan-result/v1"
+        assert doc["planner"] == "lprr"
+        assert len(doc["assignment"]) == problem.num_objects
+        assert doc["objects"] == [str(o) for o in problem.object_ids]
+        assert "details" in doc
+
+    def test_parallel_config(self, problem):
+        serial = plan(problem, "lprr", PlanConfig(seed=5, jobs=1))
+        pooled = plan(problem, "lprr", PlanConfig(seed=5, jobs=2))
+        assert np.array_equal(
+            serial.placement.assignment, pooled.placement.assignment
+        )
+
+    def test_cache_diagnostics(self, problem, tmp_path):
+        config = PlanConfig(seed=0, cache_dir=tmp_path)
+        assert plan(problem, "lprr", config).diagnostics["cache"] == "miss"
+        assert plan(problem, "lprr", config).diagnostics["cache"] == "hit"
+
+
+class TestLegacyShims:
+    def test_get_strategy_warns(self):
+        with pytest.warns(DeprecationWarning, match="get_strategy"):
+            get_strategy("hash")
+
+    def test_available_strategies_warns(self):
+        with pytest.warns(DeprecationWarning, match="available_strategies"):
+            names = available_strategies()
+        assert "lprr" in names
+
+    def test_register_strategy_warns_and_bridges(self, problem):
+        from repro.core.placement import Placement
+
+        def custom(prob):
+            return Placement(
+                prob, np.zeros(prob.num_objects, dtype=np.int64)
+            )
+
+        with pytest.warns(DeprecationWarning, match="register_strategy"):
+            register_strategy("all_on_node_zero")(custom)
+        try:
+            with pytest.warns(DeprecationWarning):
+                assert get_strategy("all_on_node_zero") is custom
+            # Bridged into the planner registry too.
+            result = plan(problem, "all_on_node_zero")
+            assert set(result.placement.assignment) == {0}
+        finally:
+            from repro.core import strategies
+
+            strategies._LEGACY.pop("all_on_node_zero", None)
+            strategies._PLANNERS.pop("all_on_node_zero", None)
+
+    def test_unknown_strategy_message_preserved(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(KeyError, match="unknown strategy"):
+                get_strategy("nope")
+
+    def test_legacy_matches_planner_output(self, problem):
+        # The shim returns the exact pre-1.1 callable; for deterministic
+        # strategies its output matches the planner under defaults.
+        for name in ("hash", "round_robin", "best_fit_decreasing"):
+            with pytest.warns(DeprecationWarning):
+                legacy = get_strategy(name)(problem)
+            modern = plan(problem, name).placement
+            assert np.array_equal(legacy.assignment, modern.assignment)
+
+    def test_legacy_lprr_is_seed_zero_planner(self, problem):
+        from repro.core.lprr import LPRRPlanner
+
+        with pytest.warns(DeprecationWarning):
+            legacy = get_strategy("lprr")(problem)
+        direct = LPRRPlanner(seed=0).plan(problem).placement
+        assert np.array_equal(legacy.assignment, direct.assignment)
+
+
+class TestSerializationUnification:
+    def test_rounding_result_round_trip(self, problem):
+        from repro.core.lp import solve_placement_lp
+        from repro.core.rounding import RoundingResult, round_best_of
+
+        result = round_best_of(solve_placement_lp(problem), trials=3, rng=0)
+        restored = RoundingResult.from_dict(result.to_dict(), problem)
+        assert restored.cost == pytest.approx(result.cost)
+        assert restored.trial_costs == result.trial_costs
+        assert np.array_equal(
+            restored.placement.assignment, result.placement.assignment
+        )
+
+    def test_lprr_result_round_trip(self, problem):
+        from repro.core.lprr import LPRRPlanner, LPRRResult
+
+        result = LPRRPlanner(seed=0).plan(problem)
+        restored = LPRRResult.from_dict(result.to_dict(), problem)
+        assert restored.cost == pytest.approx(result.cost)
+        assert restored.scope_objects == result.scope_objects
+        assert restored.lp_lower_bound == pytest.approx(result.lp_lower_bound)
+        assert np.array_equal(
+            restored.placement.assignment, result.placement.assignment
+        )
+
+    def test_evaluation_summary_round_trip(self):
+        from repro.search.engine import EvaluationSummary
+
+        summary = EvaluationSummary(
+            queries=10,
+            total_bytes=1234,
+            total_hops=7,
+            local_fraction=0.4,
+            mean_bytes_per_query=123.4,
+        )
+        assert EvaluationSummary.from_dict(summary.to_dict()) == summary
+
+    def test_wrong_problem_rejected(self, problem):
+        from repro.core.lprr import LPRRPlanner, LPRRResult
+        from repro.exceptions import TraceFormatError
+
+        doc = LPRRPlanner(seed=0).plan(problem).to_dict()
+        other = PlacementProblem.build(
+            {"x": 1.0, "y": 1.0}, 2, {("x", "y"): 0.5}
+        )
+        with pytest.raises(TraceFormatError):
+            LPRRResult.from_dict(doc, other)
