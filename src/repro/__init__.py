@@ -66,6 +66,7 @@ from repro.core import (
 )
 from repro import obs
 from repro.exceptions import (
+    CircuitOpenError,
     InfeasibleProblemError,
     PlacementError,
     ProblemDefinitionError,
@@ -74,9 +75,10 @@ from repro.exceptions import (
     TraceFormatError,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "CircuitOpenError",
     "CorrelationEstimator",
     "ExactSolution",
     "FractionalPlacement",

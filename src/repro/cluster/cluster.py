@@ -31,12 +31,15 @@ class OperationResult:
         bytes_transferred: Inter-node bytes this operation moved.
         coordinator: Node where the final aggregation happened.
         num_remote_objects: Objects that had to be moved.
+        served: False when a requested object lives only on a failed
+            node and the operation could not run.
     """
 
     objects: tuple[ObjectId, ...]
     bytes_transferred: float
     coordinator: NodeId
     num_remote_objects: int
+    served: bool = True
 
     @property
     def is_local(self) -> bool:
@@ -63,6 +66,7 @@ class Cluster:
         self.network = NetworkModel(list(problem.node_ids))
         self._sizes: dict[ObjectId, float] = {}
         self._location: dict[ObjectId, NodeId] = {}
+        self._failed: set[NodeId] = set()
         for obj, node_id in placement.to_mapping().items():
             size = problem.size_of(obj)
             self.nodes[node_id].store(obj, size)
@@ -75,6 +79,56 @@ class Cluster:
             return self._location[obj]
         except KeyError:
             raise PlacementError(f"unknown object {obj!r}") from None
+
+    # ------------------------------------------------------------------
+    # Failures
+    # ------------------------------------------------------------------
+    @property
+    def failed_nodes(self) -> frozenset[NodeId]:
+        """Nodes currently down."""
+        return frozenset(self._failed)
+
+    def fail(self, node_id: NodeId) -> None:
+        """Take a node down; its objects become unreachable (not lost —
+        recovery brings them straight back)."""
+        if node_id not in self.nodes:
+            raise PlacementError(f"unknown node {node_id!r}")
+        if node_id not in self._failed:
+            self._failed.add(node_id)
+            obs.counter("cluster.node_failures").inc()
+
+    def recover(self, node_id: NodeId) -> None:
+        """Bring a failed node back online with its stored objects."""
+        if node_id not in self.nodes:
+            raise PlacementError(f"unknown node {node_id!r}")
+        if node_id in self._failed:
+            self._failed.discard(node_id)
+            obs.counter("cluster.node_recoveries").inc()
+
+    def is_available(self, obj: ObjectId) -> bool:
+        """Whether ``obj``'s hosting node is up."""
+        return self.locate(obj) not in self._failed
+
+    def unreachable_objects(self) -> list[ObjectId]:
+        """Objects currently hosted on failed nodes, sorted by repr."""
+        return sorted(
+            (o for o, node in self._location.items() if node in self._failed),
+            key=repr,
+        )
+
+    def _unserved(self, objects: tuple[ObjectId, ...]) -> OperationResult | None:
+        """An unserved result if any requested object is unreachable."""
+        down = [obj for obj in objects if self.locate(obj) in self._failed]
+        if not down:
+            return None
+        obs.counter("cluster.ops.unserved").inc()
+        return OperationResult(
+            objects=objects,
+            bytes_transferred=0.0,
+            coordinator=self.locate(down[0]),
+            num_remote_objects=0,
+            served=False,
+        )
 
     # ------------------------------------------------------------------
     # Operations
@@ -92,6 +146,9 @@ class Cluster:
         distinct = sorted(set(objects), key=lambda o: (self._sizes_or_raise(o), repr(o)))
         if not distinct:
             raise ValueError("operation requests no objects")
+        unserved = self._unserved(objects)
+        if unserved is not None:
+            return unserved
         coordinator = self.locate(distinct[0])
         running = self._sizes[distinct[0]]
         transferred = 0.0
@@ -118,6 +175,9 @@ class Cluster:
         distinct = sorted(set(objects), key=lambda o: (self._sizes_or_raise(o), repr(o)))
         if not distinct:
             raise ValueError("operation requests no objects")
+        unserved = self._unserved(objects)
+        if unserved is not None:
+            return unserved
         largest = distinct[-1]
         coordinator = self.locate(largest)
         transferred = 0.0
@@ -152,6 +212,7 @@ class Cluster:
             trace_span.set(
                 operations=len(results),
                 total_bytes=sum(r.bytes_transferred for r in results),
+                unserved=sum(1 for r in results if not r.served),
             )
         return results
 
@@ -163,8 +224,20 @@ class Cluster:
         return [nid for nid, node in self.nodes.items() if node.is_overloaded]
 
     def migrate(self, obj: ObjectId, destination: NodeId) -> float:
-        """Move an object to another node; returns bytes moved."""
+        """Move an object to another node; returns bytes moved.
+
+        Migrations into a failed node are rejected; migrations *out of*
+        a failed node are allowed — that is exactly what incremental
+        repair does (restoring the object from a replica or re-ingest,
+        modelled as a transfer of its size).
+        """
         source = self.locate(obj)
+        if destination not in self.nodes:
+            raise PlacementError(f"unknown node {destination!r}")
+        if destination in self._failed:
+            raise PlacementError(
+                f"cannot migrate {obj!r} onto failed node {destination!r}"
+            )
         if destination == source:
             return 0.0
         size = self.nodes[source].evict(obj)

@@ -159,7 +159,10 @@ def build_placement_lp(problem: PlacementProblem) -> LinearProgram:
 
 
 def solve_placement_lp(
-    problem: PlacementProblem, backend: str = "auto"
+    problem: PlacementProblem,
+    backend: str = "auto",
+    time_limit: float | None = None,
+    iteration_limit: int | None = None,
 ) -> FractionalPlacement:
     """Solve the relaxed placement LP and extract the fractional scheme.
 
@@ -167,6 +170,11 @@ def solve_placement_lp(
         problem: The CCA instance.
         backend: LP backend name (``"auto"``, ``"highs"``,
             ``"highs-ipm"``, or ``"simplex"``).
+        time_limit: Optional solver wall-clock budget in seconds; an
+            exceeded budget surfaces as :class:`SolverError`, which the
+            resilient planning chain treats as "try the next backend".
+        iteration_limit: Optional solver iteration budget, same
+            semantics.
 
     Returns:
         The optimal :class:`FractionalPlacement`.
@@ -174,7 +182,8 @@ def solve_placement_lp(
     Raises:
         InfeasibleProblemError: If the capacities cannot hold the
             objects (detected up front or reported by the solver).
-        SolverError: On unexpected solver failure.
+        SolverError: On unexpected solver failure, including an
+            exhausted time or iteration budget.
     """
     if problem.is_trivially_infeasible():
         raise InfeasibleProblemError(
@@ -188,7 +197,11 @@ def solve_placement_lp(
         obs.gauge("lp.num_constraints").set(lp.num_constraints)
         obs.gauge("lp.num_nonzeros").set(lp.num_nonzeros)
         with obs.timed("lp.solve", backend=backend) as solve_span:
-            result = lp.solve(backend=backend)
+            result = lp.solve(
+                backend=backend,
+                time_limit=time_limit,
+                iteration_limit=iteration_limit,
+            )
         elapsed = solve_span.duration
         solve_span.set(status=result.status.name, iterations=result.iterations)
         obs.histogram("lp.solve_seconds").observe(elapsed)

@@ -124,7 +124,16 @@ class LPRRPlanner:
             set, whole plans and LP solutions are memoized by problem
             fingerprint + configuration signature; a warm replan skips
             the LP solve entirely and returns a result flagged
-            ``from_cache=True``.
+            ``from_cache=True``.  A cached artifact that parses but no
+            longer deserializes (half-written, schema drift) degrades
+            to a miss (``cache.corrupt`` counter) instead of failing
+            the plan.
+        lp_time_limit: Optional LP solver wall-clock budget in seconds;
+            an exhausted budget raises
+            :class:`~repro.exceptions.SolverError` (the resilient
+            planning chain catches it and falls back).
+        lp_iteration_limit: Optional LP solver iteration budget, same
+            semantics.
 
     Example:
         >>> import numpy as np
@@ -151,6 +160,8 @@ class LPRRPlanner:
         decompose: bool = False,
         jobs: int | None = None,
         cache: "PlanCache | None" = None,
+        lp_time_limit: float | None = None,
+        lp_iteration_limit: int | None = None,
     ):
         if scope is not None and scope < 1:
             raise ValueError("scope must be positive (or None for full scope)")
@@ -167,6 +178,8 @@ class LPRRPlanner:
         self.decompose = decompose
         self.jobs = jobs
         self.cache = cache
+        self.lp_time_limit = lp_time_limit
+        self.lp_iteration_limit = lp_iteration_limit
 
     def _signature(self) -> str:
         """Canonical configuration signature for cache keying.
@@ -177,21 +190,25 @@ class LPRRPlanner:
         because the legacy sequential-stream path and the spawned-seed
         path round differently for the same seed.
         """
-        return json.dumps(
-            {
-                "scope": self.scope,
-                "capacity_factor": self.capacity_factor,
-                "rounding_trials": self.rounding_trials,
-                "capacity_tolerance": self.capacity_tolerance,
-                "seed": self.seed,
-                "backend": self.backend,
-                "hash_salt": self.hash_salt,
-                "repair": self.repair,
-                "decompose": self.decompose,
-                "engine": "legacy" if self.jobs is None else "spawned-seeds",
-            },
-            sort_keys=True,
-        )
+        knobs = {
+            "scope": self.scope,
+            "capacity_factor": self.capacity_factor,
+            "rounding_trials": self.rounding_trials,
+            "capacity_tolerance": self.capacity_tolerance,
+            "seed": self.seed,
+            "backend": self.backend,
+            "hash_salt": self.hash_salt,
+            "repair": self.repair,
+            "decompose": self.decompose,
+            "engine": "legacy" if self.jobs is None else "spawned-seeds",
+        }
+        # Solve limits join the key only when set, so existing caches
+        # stay valid for the (default) unlimited configuration.
+        if self.lp_time_limit is not None:
+            knobs["lp_time_limit"] = self.lp_time_limit
+        if self.lp_iteration_limit is not None:
+            knobs["lp_iteration_limit"] = self.lp_iteration_limit
+        return json.dumps(knobs, sort_keys=True)
 
     def plan(self, problem: PlacementProblem) -> LPRRResult:
         """Compute a correlation-aware placement for ``problem``.
@@ -209,12 +226,20 @@ class LPRRPlanner:
         key = signature_key(problem_fingerprint(problem), self._signature())
         doc = self.cache.load("plan", key)
         if doc is not None:
-            with obs.span("lprr.plan.cached", objects=problem.num_objects):
-                result = replace(
-                    LPRRResult.from_dict(doc, problem), from_cache=True
-                )
-            obs.counter("lprr.plans").inc()
-            return result
+            try:
+                with obs.span("lprr.plan.cached", objects=problem.num_objects):
+                    result = replace(
+                        LPRRResult.from_dict(doc, problem), from_cache=True
+                    )
+            except Exception:
+                # A parseable-but-wrong artifact (half-written store,
+                # schema drift) must not poison every warm replan:
+                # degrade to a miss and solve fresh.
+                obs.counter("cache.corrupt").inc()
+                obs.counter("cache.plan.corrupt").inc()
+            else:
+                obs.counter("lprr.plans").inc()
+                return result
         result = self._plan(problem)
         self.cache.store("plan", key, result.to_dict())
         return result
@@ -227,7 +252,7 @@ class LPRRPlanner:
         expensive solve and only re-rounds.
         """
         if self.cache is None:
-            return solve_placement_lp(subproblem, backend=self.backend)
+            return self._solve_lp_fresh(subproblem)
 
         from repro.core.serialization import (
             fractional_from_dict,
@@ -241,11 +266,23 @@ class LPRRPlanner:
         )
         doc = self.cache.load("lp", key)
         if doc is not None:
-            with obs.span("lprr.lp.cached", objects=subproblem.num_objects):
-                return fractional_from_dict(doc, subproblem)
-        fractional = solve_placement_lp(subproblem, backend=self.backend)
+            try:
+                with obs.span("lprr.lp.cached", objects=subproblem.num_objects):
+                    return fractional_from_dict(doc, subproblem)
+            except Exception:
+                obs.counter("cache.corrupt").inc()
+                obs.counter("cache.lp.corrupt").inc()
+        fractional = self._solve_lp_fresh(subproblem)
         self.cache.store("lp", key, fractional_to_dict(fractional))
         return fractional
+
+    def _solve_lp_fresh(self, subproblem: PlacementProblem) -> FractionalPlacement:
+        return solve_placement_lp(
+            subproblem,
+            backend=self.backend,
+            time_limit=self.lp_time_limit,
+            iteration_limit=self.lp_iteration_limit,
+        )
 
     def _round(self, fractional: FractionalPlacement) -> RoundingResult:
         """Best-of-``k`` rounding via the engine selected by ``jobs``."""

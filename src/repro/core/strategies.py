@@ -70,6 +70,13 @@ class PlanConfig:
         capacity_tolerance: Relative slack when judging feasibility.
         backend: LP backend (``"auto"``, ``"highs"``, ``"highs-ipm"``,
             or ``"simplex"``).
+        lp_time_limit: Wall-clock budget in seconds handed to the LP
+            backend; an over-budget solve raises
+            :class:`~repro.exceptions.SolverError` instead of hanging.
+            ``None`` means unlimited.
+        lp_iteration_limit: Iteration budget for the LP backend, with
+            the same over-budget behavior.  ``None`` means the
+            backend's default.
         decompose: Solve one LP per correlation component.
         hash_salt: Salt for hash placements (baseline and out-of-scope).
         repair: Post-repair capacity-violating rounded placements.
@@ -90,6 +97,8 @@ class PlanConfig:
     capacity_factor: float | None = 2.0
     capacity_tolerance: float = 0.05
     backend: str = "auto"
+    lp_time_limit: float | None = None
+    lp_iteration_limit: int | None = None
     decompose: bool = False
     hash_salt: str = ""
     repair: bool = True
@@ -341,6 +350,8 @@ def _lprr_planner(
         capacity_tolerance=config.capacity_tolerance,
         seed=config.seed,
         backend=config.backend,
+        lp_time_limit=config.lp_time_limit,
+        lp_iteration_limit=config.lp_iteration_limit,
         hash_salt=config.hash_salt,
         repair=config.repair,
         decompose=config.decompose,
@@ -359,6 +370,16 @@ def _lprr_planner(
         "cache": cache_state,
     }
     return _finish("lprr", result.placement, span.duration, diagnostics, result)
+
+
+@register_planner("resilient")
+def _resilient_planner(
+    problem: PlacementProblem, *, config: PlanConfig = PlanConfig()
+) -> PlanResult:
+    # Imported lazily to avoid a cycle (healing plans via this registry).
+    from repro.resilience.healing import plan_with_fallbacks
+
+    return plan_with_fallbacks(problem, config=config)
 
 
 # ----------------------------------------------------------------------

@@ -23,12 +23,15 @@ _TOL = 1e-9
 _MAX_ITERATIONS = 100_000
 
 
-def solve_simplex(lp) -> LPResult:
+def solve_simplex(lp, max_iterations: int | None = None) -> LPResult:
     """Solve a :class:`repro.lpsolve.model.LinearProgram` exactly.
 
     Args:
         lp: The program to solve.  Every variable needs a finite lower
             bound.
+        max_iterations: Pivot budget across both phases (default
+            ``100_000``); exceeding it raises :class:`SolverError` so
+            callers with a fallback chain can move on.
 
     Returns:
         An :class:`LPResult` with OPTIMAL / INFEASIBLE / UNBOUNDED
@@ -37,6 +40,9 @@ def solve_simplex(lp) -> LPResult:
     Raises:
         SolverError: On unbounded-below variables or iteration blowup.
     """
+    iteration_budget = (
+        _MAX_ITERATIONS if max_iterations is None else int(max_iterations)
+    )
     n = lp.num_variables
     if n == 0:
         return LPResult(LPStatus.OPTIMAL, 0.0, np.empty(0), "empty program")
@@ -123,8 +129,10 @@ def solve_simplex(lp) -> LPResult:
         nonlocal iterations
         while True:
             iterations += 1
-            if iterations > _MAX_ITERATIONS:
-                raise SolverError("simplex iteration limit exceeded")
+            if iterations > iteration_budget:
+                raise SolverError(
+                    f"simplex iteration limit ({iteration_budget}) exceeded"
+                )
             # Reduced costs: costs - costs_B @ tableau (dense).
             cb = costs[basis]
             reduced = costs[:allowed] - cb @ tableau[:, :allowed]

@@ -22,7 +22,8 @@ Layout: ``<root>/<kind>/<key[:2]>/<key>.json``, written atomically
 (temp file + rename) so concurrent planners can share a cache
 directory.  Corrupt or unreadable entries are treated as misses, never
 as errors.  Counters: ``cache.hits`` / ``cache.misses`` /
-``cache.stores`` plus per-kind ``cache.<kind>.hits`` etc.
+``cache.stores`` / ``cache.corrupt`` plus per-kind
+``cache.<kind>.hits`` etc.
 """
 
 from __future__ import annotations
@@ -74,18 +75,36 @@ class PlanCache:
         return self.root / kind / key[:2] / f"{key}.json"
 
     def load(self, kind: str, key: str) -> dict | None:
-        """The stored document for ``key``, or None on a miss."""
+        """The stored document for ``key``, or None on a miss.
+
+        A present-but-unusable artifact — truncated JSON, binary
+        garbage, or a non-object document from a torn write — counts as
+        a miss (so the planner re-solves and overwrites it) and is
+        additionally recorded under ``cache.corrupt``.
+        """
         path = self._path(kind, key)
         try:
             with open(path, encoding="utf-8") as fh:
                 doc = json.load(fh)
-        except (OSError, json.JSONDecodeError):
+        except OSError:
             obs.counter("cache.misses").inc()
             obs.counter(f"cache.{kind}.misses").inc()
+            return None
+        except ValueError:  # JSONDecodeError, UnicodeDecodeError
+            self._record_corrupt(kind)
+            return None
+        if not isinstance(doc, dict):
+            self._record_corrupt(kind)
             return None
         obs.counter("cache.hits").inc()
         obs.counter(f"cache.{kind}.hits").inc()
         return doc
+
+    def _record_corrupt(self, kind: str) -> None:
+        obs.counter("cache.misses").inc()
+        obs.counter(f"cache.{kind}.misses").inc()
+        obs.counter("cache.corrupt").inc()
+        obs.counter(f"cache.{kind}.corrupt").inc()
 
     def store(self, kind: str, key: str, doc: dict) -> None:
         """Atomically persist ``doc`` under ``key``."""

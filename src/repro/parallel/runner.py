@@ -9,6 +9,11 @@ maps tasks across it in submission order, so callers can rely on
 ``results[i]`` corresponding to ``items[i]`` regardless of worker
 scheduling.
 
+A broken pool (worker killed mid-batch) is retried on a fresh pool
+with backoff and, if it keeps breaking, the batch runs inline — a
+planning run never fails because of worker-process mortality (metrics:
+``pool.broken``, ``pool.inline_fallbacks``).
+
 Functions mapped across a pool must be picklable (module-level
 functions; bound arguments go in the item tuples).  Observability
 inside workers is a no-op — child processes never see the parent's
@@ -20,7 +25,9 @@ return payload and the parent aggregates pool metrics via
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Sequence
 
 from repro import obs
@@ -42,6 +49,13 @@ class TaskRunner:
         jobs: Worker count.  ``1`` executes inline (serial fallback);
             ``>1`` uses a process pool of that size; negative means
             "one per CPU".
+        pool_retries: How many times a :class:`BrokenProcessPool`
+            (a worker killed by the OOM killer, a crashed interpreter)
+            is answered by rebuilding the pool and retrying the whole
+            batch, with exponential backoff, before the batch falls
+            back to inline execution in the calling process.
+        retry_backoff_s: Initial backoff before a pool rebuild; doubles
+            per retry.  ``0`` disables sleeping (used by tests).
 
     Use as a context manager so the pool (if any) is torn down::
 
@@ -49,9 +63,19 @@ class TaskRunner:
             results = runner.map(work, items)
     """
 
-    def __init__(self, jobs: int | None = 1):
+    def __init__(
+        self,
+        jobs: int | None = 1,
+        pool_retries: int = 1,
+        retry_backoff_s: float = 0.05,
+    ):
+        if pool_retries < 0:
+            raise ValueError("pool_retries must be nonnegative")
         self.jobs = resolve_jobs(jobs)
+        self.pool_retries = pool_retries
+        self.retry_backoff_s = retry_backoff_s
         self._pool: ProcessPoolExecutor | None = None
+        self._sleep = time.sleep  # injectable for tests
 
     def __enter__(self) -> "TaskRunner":
         return self
@@ -82,8 +106,23 @@ class TaskRunner:
         obs.counter("parallel.tasks").inc(len(tasks))
         if self.jobs == 1 or len(tasks) <= 1:
             return [fn(task) for task in tasks]
-        pool = self._ensure_pool()
-        return list(pool.map(fn, tasks))
+        backoff = self.retry_backoff_s
+        for attempt in range(self.pool_retries + 1):
+            pool = self._ensure_pool()
+            try:
+                return list(pool.map(fn, tasks))
+            except BrokenProcessPool:
+                # A dead worker poisons the whole executor; results of
+                # the batch are unrecoverable, so retry from scratch.
+                obs.counter("pool.broken").inc()
+                self.close()
+                if attempt < self.pool_retries and backoff > 0:
+                    self._sleep(backoff)
+                    backoff *= 2
+        # The pool keeps dying (resource exhaustion, unpicklable crash):
+        # serve this batch inline so planning completes, degraded.
+        obs.counter("pool.inline_fallbacks").inc()
+        return [fn(task) for task in tasks]
 
 
 def chunk_evenly(items: Sequence[Any], chunks: int) -> list[list[Any]]:

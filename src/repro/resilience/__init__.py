@@ -1,0 +1,72 @@
+"""Resilience subsystem: fault injection, degraded serving, self-healing.
+
+The pipeline this package hardens is the one the rest of the library
+builds: plan a placement, materialize it on a cluster, serve a trace.
+Here that pipeline meets failure on purpose —
+
+* :mod:`repro.resilience.faults` injects deterministic, seeded crash /
+  recover / slow / partition schedules over virtual (operation-index)
+  time;
+* :mod:`repro.resilience.degraded` quantifies what each fault epoch
+  does to availability and communication cost, single-copy vs
+  replicated;
+* :mod:`repro.resilience.healing` keeps planning alive — retries with
+  backoff, per-backend circuit breakers, and the ``"resilient"``
+  fallback-chain planner;
+* :mod:`repro.resilience.repair` re-places only what a crash lost,
+  onto surviving capacity;
+* :mod:`repro.resilience.chaos` runs the whole loop end to end and
+  emits the byte-reproducible :class:`DegradedReport` behind the
+  ``repro chaos`` CLI command.
+"""
+
+from repro.resilience.chaos import ChaosConfig, run_chaos, synthetic_scenario
+from repro.resilience.degraded import (
+    DegradedReport,
+    EpochReport,
+    ModeStats,
+    mode_stats,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    ClusterView,
+    Epoch,
+    FaultEvent,
+    FaultSchedule,
+    FaultState,
+)
+from repro.resilience.healing import (
+    CircuitBreaker,
+    FallbackStep,
+    RetryPolicy,
+    backend_breaker,
+    plan_with_fallbacks,
+    reset_backend_breakers,
+    retry_with_backoff,
+)
+from repro.resilience.repair import RepairOutcome, replace_lost_objects
+
+__all__ = [
+    "FAULT_KINDS",
+    "ChaosConfig",
+    "CircuitBreaker",
+    "ClusterView",
+    "DegradedReport",
+    "Epoch",
+    "EpochReport",
+    "FallbackStep",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultState",
+    "ModeStats",
+    "RepairOutcome",
+    "RetryPolicy",
+    "backend_breaker",
+    "mode_stats",
+    "plan_with_fallbacks",
+    "replace_lost_objects",
+    "reset_backend_breakers",
+    "retry_with_backoff",
+    "run_chaos",
+    "synthetic_scenario",
+]

@@ -44,6 +44,8 @@ class QueryExecution:
         bytes_transferred: Inter-node communication, in bytes.
         nodes_contacted: Distinct nodes holding the queried indices.
         hops: Number of inter-node result shipments.
+        served: False when the engine could not answer — every copy of
+            a queried index was on failed nodes (degraded mode).
     """
 
     query: Query
@@ -51,6 +53,7 @@ class QueryExecution:
     bytes_transferred: int
     nodes_contacted: int
     hops: int
+    served: bool = True
 
     @property
     def is_local(self) -> bool:
@@ -66,6 +69,7 @@ class EngineStats:
     total_bytes: int = 0
     local_queries: int = 0
     total_hops: int = 0
+    unserved_queries: int = 0
     per_node_bytes_sent: dict[NodeId, int] = field(default_factory=dict)
 
     def record(self, execution: QueryExecution, sender_bytes: list[tuple[NodeId, int]]) -> None:
@@ -73,7 +77,9 @@ class EngineStats:
         self.queries += 1
         self.total_bytes += execution.bytes_transferred
         self.total_hops += execution.hops
-        if execution.is_local:
+        if not execution.served:
+            self.unserved_queries += 1
+        elif execution.is_local:
             self.local_queries += 1
         for node, sent in sender_bytes:
             self.per_node_bytes_sent[node] = self.per_node_bytes_sent.get(node, 0) + sent
@@ -82,6 +88,13 @@ class EngineStats:
     def local_fraction(self) -> float:
         """Fraction of queries answered without communication."""
         return self.local_queries / self.queries if self.queries else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of queries that were servable at all."""
+        if self.queries == 0:
+            return 1.0
+        return (self.queries - self.unserved_queries) / self.queries
 
     @property
     def mean_bytes_per_query(self) -> float:

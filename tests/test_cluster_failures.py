@@ -86,3 +86,101 @@ class TestWorstSingleFailure:
         trace = [("a", "b"), ("c", "d"), ("a", "d")]
         report = worst_single_failure(replicated, trace)
         assert report.operation_availability == 1.0
+
+
+def _random_instance(rng, num_objects=12, num_nodes=4, num_ops=20):
+    """A random problem, single placement, a replicated placement whose
+    first copy matches the single one (second copy guaranteed distinct),
+    and a trace."""
+    objects = {f"o{i}": float(rng.integers(1, 5)) for i in range(num_objects)}
+    names = sorted(objects)
+    correlations = {}
+    for _ in range(num_objects):
+        i, j = sorted(rng.choice(num_objects, size=2, replace=False))
+        if i != j:
+            correlations[(names[int(i)], names[int(j)])] = float(
+                rng.uniform(0.1, 0.9)
+            )
+    problem = PlacementProblem.build(objects, num_nodes, correlations)
+    assignment = rng.integers(0, num_nodes, size=num_objects)
+    single = Placement(problem, assignment)
+    # Second copy on a different node than the first, always.
+    spare = (assignment + 1 + rng.integers(0, num_nodes - 1, num_objects)) % (
+        num_nodes
+    )
+    spare = np.where(spare == assignment, (assignment + 1) % num_nodes, spare)
+    replicated = ReplicatedPlacement(
+        problem, np.stack([assignment, spare], axis=1)
+    )
+    trace = [
+        tuple(
+            names[int(k)]
+            for k in rng.choice(num_objects, size=int(rng.integers(1, 4)))
+        )
+        for _ in range(num_ops)
+    ]
+    return problem, single, replicated, trace
+
+
+class TestAvailabilityProperties:
+    """Property-style checks of the availability math."""
+
+    def test_empty_failure_set_is_full_availability(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            _, single, replicated, trace = _random_instance(rng)
+            for placement in (single, replicated):
+                report = fail_nodes(placement, [], trace)
+                assert report.object_availability == 1.0
+                assert report.operation_availability == 1.0
+                assert report.lost_objects == ()
+
+    def test_all_nodes_failed_is_zero_availability(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            problem, single, replicated, trace = _random_instance(rng)
+            everyone = list(range(problem.num_nodes))
+            for placement in (single, replicated):
+                report = fail_nodes(placement, everyone, trace)
+                assert report.object_availability == 0.0
+                assert len(report.lost_objects) == problem.num_objects
+                # Only object-free operations (none here: every op
+                # names at least one object) could still be served.
+                assert report.operation_availability == 0.0
+
+    def test_replication_never_hurts(self):
+        """For every random failure set, a replicated placement whose
+        first copy equals the single-copy placement is at least as
+        available — object- and operation-wise."""
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            problem, single, replicated, trace = _random_instance(rng)
+            failure_count = int(rng.integers(0, problem.num_nodes + 1))
+            failed = list(
+                rng.choice(problem.num_nodes, size=failure_count, replace=False)
+            )
+            single_report = fail_nodes(single, failed, trace)
+            replicated_report = fail_nodes(replicated, failed, trace)
+            assert (
+                replicated_report.object_availability
+                >= single_report.object_availability
+            )
+            assert (
+                replicated_report.operation_availability
+                >= single_report.operation_availability
+            )
+            assert set(replicated_report.lost_objects) <= set(
+                single_report.lost_objects
+            )
+
+    def test_availability_monotone_in_failures(self):
+        """Failing more nodes never helps."""
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            problem, single, _, trace = _random_instance(rng)
+            order = list(rng.permutation(problem.num_nodes))
+            previous = 1.0
+            for k in range(problem.num_nodes + 1):
+                report = fail_nodes(single, order[:k], trace)
+                assert report.operation_availability <= previous + 1e-12
+                previous = report.operation_availability

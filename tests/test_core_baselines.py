@@ -7,9 +7,10 @@ from repro.core.greedy import greedy_placement
 from repro.core.hashing import hash_node, random_hash_placement
 from repro.core.problem import PlacementProblem
 from repro.core.strategies import (
-    available_strategies,
+    available_planners,
     best_fit_decreasing_placement,
-    get_strategy,
+    get_planner,
+    plan,
     round_robin_placement,
 )
 from repro.exceptions import InfeasibleProblemError
@@ -146,14 +147,24 @@ class TestControls:
             best_fit_decreasing_placement(p, strict_capacity=True)
 
     def test_registry_contains_all(self):
-        names = available_strategies()
-        for expected in ("hash", "greedy", "lprr", "round_robin", "best_fit_decreasing"):
+        names = available_planners()
+        for expected in (
+            "hash",
+            "greedy",
+            "lprr",
+            "resilient",
+            "round_robin",
+            "best_fit_decreasing",
+        ):
             assert expected in names
 
     def test_registry_lookup(self, clustered_problem):
-        strategy = get_strategy("greedy")
-        assert strategy(clustered_problem).is_feasible()
+        from repro.core.strategies import PlanConfig
+
+        result = plan(clustered_problem, "greedy", PlanConfig(capacity_factor=None))
+        assert result.placement.is_feasible()
+        assert result.diagnostics["feasible"] is True
 
     def test_registry_unknown(self):
-        with pytest.raises(KeyError, match="unknown strategy"):
-            get_strategy("nope")
+        with pytest.raises(KeyError, match="unknown planner"):
+            get_planner("nope")

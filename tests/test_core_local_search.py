@@ -98,8 +98,8 @@ class TestLocalSearch:
         result = local_search_placement(p, start=start)
         assert result.communication_cost() == 0.0
 
-    def test_registered_strategy(self, clustered):
-        from repro.core.strategies import get_strategy
+    def test_registered_planner(self, clustered):
+        from repro.core.strategies import plan
 
-        placement = get_strategy("local_search")(clustered)
+        placement = plan(clustered, "local_search").placement
         assert placement.is_feasible()

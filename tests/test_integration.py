@@ -136,14 +136,14 @@ class TestEndToEnd:
             <= engine1.execute_log(log).total_bytes
         )
 
-    def test_strategy_registry_round_trip(self, pipeline):
-        from repro.core.strategies import available_strategies, get_strategy
+    def test_planner_registry_round_trip(self, pipeline):
+        from repro.core.strategies import available_planners, plan
 
         _, _, _, _, problem = pipeline
         capped = problem.with_capacities(problem.total_size)
-        for name in available_strategies():
-            placement = get_strategy(name)(capped)
-            assert placement.assignment.shape == (problem.num_objects,)
+        for name in available_planners():
+            result = plan(capped, name)
+            assert result.placement.assignment.shape == (problem.num_objects,)
 
     def test_two_smallest_problem_weights_bound_engine_pairs(self, pipeline):
         """Every modeled pair weight is realizable: r * w equals the

@@ -320,3 +320,159 @@ class TestPoolMetrics:
         utilization = inst.metrics.gauge("parallel.pool_utilization").value
         assert 0.0 <= utilization <= 1.0
         assert inst.metrics.gauge("rounding.trials_per_second").value > 0
+
+
+def _double(x):
+    return x * 2
+
+
+class _FlakyPool:
+    """Stands in for a ProcessPoolExecutor that keeps losing workers."""
+
+    def __init__(self, failures_left):
+        self.failures_left = failures_left
+
+    def map(self, fn, items):
+        from concurrent.futures.process import BrokenProcessPool
+
+        if self.failures_left > 0:
+            self.failures_left -= 1
+            raise BrokenProcessPool("worker died")
+        return map(fn, items)
+
+    def shutdown(self, wait=True):
+        pass
+
+
+class TestRunnerResilience:
+    def _rigged_runner(self, failures, **kwargs):
+        from repro.parallel import TaskRunner
+
+        runner = TaskRunner(jobs=2, **kwargs)
+        state = {"failures": failures}
+
+        def fake_ensure():
+            if runner._pool is None:
+                runner._pool = _FlakyPool(0 if state["failures"] <= 0 else 1)
+                state["failures"] -= 1
+            return runner._pool
+
+        runner._ensure_pool = fake_ensure
+        return runner
+
+    def test_broken_pool_retried_then_succeeds(self):
+        inst = obs.enable(obs.Instrumentation())
+        try:
+            runner = self._rigged_runner(failures=1, pool_retries=1)
+            sleeps = []
+            runner._sleep = sleeps.append
+            assert runner.map(_double, [1, 2, 3]) == [2, 4, 6]
+        finally:
+            obs.disable()
+        assert inst.metrics.counter("pool.broken").value == 1
+        assert inst.metrics.counter("pool.inline_fallbacks").value == 0
+        assert sleeps == [runner.retry_backoff_s]
+
+    def test_persistently_broken_pool_falls_back_inline(self):
+        inst = obs.enable(obs.Instrumentation())
+        try:
+            runner = self._rigged_runner(failures=10, pool_retries=2)
+            sleeps = []
+            runner._sleep = sleeps.append
+            assert runner.map(_double, [1, 2, 3]) == [2, 4, 6]
+        finally:
+            obs.disable()
+        # Initial attempt + 2 retries all broke, then inline served it.
+        assert inst.metrics.counter("pool.broken").value == 3
+        assert inst.metrics.counter("pool.inline_fallbacks").value == 1
+        assert sleeps == [
+            runner.retry_backoff_s,
+            runner.retry_backoff_s * 2,
+        ]
+
+    def test_zero_retries_goes_straight_inline(self):
+        inst = obs.enable(obs.Instrumentation())
+        try:
+            runner = self._rigged_runner(failures=10, pool_retries=0)
+            runner._sleep = lambda s: pytest.fail("must not sleep")
+            assert runner.map(_double, [5, 6]) == [10, 12]
+        finally:
+            obs.disable()
+        assert inst.metrics.counter("pool.broken").value == 1
+        assert inst.metrics.counter("pool.inline_fallbacks").value == 1
+
+    def test_negative_retries_rejected(self):
+        from repro.parallel import TaskRunner
+
+        with pytest.raises(ValueError):
+            TaskRunner(jobs=2, pool_retries=-1)
+
+
+class TestCacheCorruption:
+    """Damaged artifacts degrade to counted misses, never to errors."""
+
+    def _entry_path(self, cache, kind, key):
+        path = cache._path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def test_truncated_json_is_counted_corrupt(self, tmp_path):
+        cache = PlanCache(tmp_path)
+        self._entry_path(cache, "plan", "ab" * 32).write_text('{"cost": 1.')
+        inst = obs.enable(obs.Instrumentation())
+        try:
+            assert cache.load("plan", "ab" * 32) is None
+        finally:
+            obs.disable()
+        assert inst.metrics.counter("cache.corrupt").value == 1
+        assert inst.metrics.counter("cache.plan.corrupt").value == 1
+        assert inst.metrics.counter("cache.misses").value == 1
+
+    def test_binary_garbage_is_counted_corrupt(self, tmp_path):
+        cache = PlanCache(tmp_path)
+        self._entry_path(cache, "lp", "cd" * 32).write_bytes(
+            b"\xff\xfe\x00garbage\x80"
+        )
+        inst = obs.enable(obs.Instrumentation())
+        try:
+            assert cache.load("lp", "cd" * 32) is None
+        finally:
+            obs.disable()
+        assert inst.metrics.counter("cache.lp.corrupt").value == 1
+
+    def test_non_object_document_is_counted_corrupt(self, tmp_path):
+        cache = PlanCache(tmp_path)
+        self._entry_path(cache, "plan", "ef" * 32).write_text("[1, 2, 3]")
+        inst = obs.enable(obs.Instrumentation())
+        try:
+            assert cache.load("plan", "ef" * 32) is None
+        finally:
+            obs.disable()
+        assert inst.metrics.counter("cache.corrupt").value == 1
+
+    def test_unreadable_entry_is_a_plain_miss(self, tmp_path):
+        # A directory where the artifact file should be trips OSError
+        # (works even when the suite runs as root, unlike chmod tricks).
+        cache = PlanCache(tmp_path)
+        key = "0a" * 32
+        self._entry_path(cache, "plan", key).mkdir()
+        inst = obs.enable(obs.Instrumentation())
+        try:
+            assert cache.load("plan", key) is None
+        finally:
+            obs.disable()
+        assert inst.metrics.counter("cache.misses").value == 1
+        assert inst.metrics.counter("cache.corrupt").value == 0
+
+    def test_corrupt_entry_overwritten_by_replan(self, tmp_path, problem):
+        cache = PlanCache(tmp_path)
+        planner = LPRRPlanner(seed=1, jobs=1, cache=cache)
+        planner.plan(problem)
+        entries = list(tmp_path.rglob("*.json"))
+        assert entries
+        for entry in entries:
+            entry.write_text("{corrupt")
+        result = planner.plan(problem)  # degrades to a fresh solve
+        assert not result.from_cache
+        for entry in tmp_path.rglob("*.json"):
+            json.loads(entry.read_text(encoding="utf-8"))  # healed

@@ -1,0 +1,628 @@
+"""Tests for the resilience subsystem (repro.resilience)."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cluster.cluster import Cluster
+from repro.core.placement import Placement
+from repro.core.problem import PlacementProblem
+from repro.core.replication import ReplicatedPlacement
+from repro.core.strategies import PlanConfig, plan
+from repro.exceptions import (
+    CircuitOpenError,
+    PlacementError,
+    SolverError,
+)
+from repro.resilience import (
+    ChaosConfig,
+    CircuitBreaker,
+    ClusterView,
+    FaultEvent,
+    FaultSchedule,
+    FaultState,
+    RetryPolicy,
+    backend_breaker,
+    mode_stats,
+    plan_with_fallbacks,
+    replace_lost_objects,
+    reset_backend_breakers,
+    retry_with_backoff,
+    run_chaos,
+    synthetic_scenario,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_breakers():
+    reset_backend_breakers()
+    yield
+    reset_backend_breakers()
+
+
+@pytest.fixture
+def problem():
+    return PlacementProblem.build(
+        objects={"a": 2.0, "b": 2.0, "c": 2.0, "d": 2.0},
+        nodes={"n0": 10.0, "n1": 10.0, "n2": 10.0},
+        correlations={("a", "b"): 0.5, ("c", "d"): 0.4},
+    )
+
+
+@pytest.fixture
+def placement(problem):
+    # a,b on n0; c on n1; d on n2.
+    return Placement(problem, np.array([0, 0, 1, 2]))
+
+
+# ----------------------------------------------------------------------
+# Fault schedules
+# ----------------------------------------------------------------------
+class TestFaultEvents:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(0, "meteor", (1,))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            FaultEvent(-1, "crash", (0,))
+
+    def test_round_trip(self):
+        event = FaultEvent(3, "partition", (0, 2))
+        assert FaultEvent.from_dict(event.to_dict()) == event
+
+
+class TestFaultSchedule:
+    def test_random_is_deterministic(self):
+        a = FaultSchedule.random(5, 50, seed=7, events=8)
+        b = FaultSchedule.random(5, 50, seed=7, events=8)
+        assert a.events == b.events
+        assert len(a) > 0
+
+    def test_different_seeds_differ(self):
+        a = FaultSchedule.random(5, 50, seed=0, events=8)
+        b = FaultSchedule.random(5, 50, seed=1, events=8)
+        assert a.events != b.events
+
+    def test_unsorted_events_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            FaultSchedule(3, (FaultEvent(5, "crash", (0,)), FaultEvent(1, "recover", (0,))))
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ValueError, match="unknown node"):
+            FaultSchedule(2, (FaultEvent(1, "crash", (7,)),))
+
+    def test_never_crashes_more_than_half(self):
+        schedule = FaultSchedule.random(
+            4, 200, seed=3, events=40, max_down_fraction=0.5
+        )
+        down = set()
+        for event in schedule.events:
+            if event.kind == "crash":
+                down.update(event.nodes)
+            elif event.kind == "recover":
+                down.difference_update(event.nodes)
+            assert len(down) <= 2
+
+    def test_epochs_cover_horizon(self):
+        schedule = FaultSchedule(
+            3, (FaultEvent(4, "crash", (1,)), FaultEvent(8, "recover", (1,)))
+        )
+        epochs = list(schedule.epochs(12))
+        assert [(e.start, e.end) for e in epochs] == [(0, 4), (4, 8), (8, 12)]
+        assert epochs[0].view.healthy
+        assert epochs[1].view.down == {1}
+        assert epochs[2].view.down == frozenset()
+
+    def test_events_past_horizon_ignored(self):
+        schedule = FaultSchedule(3, (FaultEvent(20, "crash", (0,)),))
+        epochs = list(schedule.epochs(10))
+        assert len(epochs) == 1
+        assert epochs[0].view.healthy
+
+    def test_schedule_round_trip(self):
+        schedule = FaultSchedule.random(4, 30, seed=2, events=5)
+        assert FaultSchedule.from_dict(schedule.to_dict()).events == schedule.events
+
+    def test_fault_state_counts_events(self):
+        inst = obs.enable(obs.Instrumentation())
+        try:
+            state = FaultState(3)
+            state.apply(FaultEvent(0, "crash", (1,)))
+            state.apply(FaultEvent(1, "slow", (0,)))
+        finally:
+            obs.disable()
+        assert inst.metrics.counter("faults.injected").value == 2
+        assert inst.metrics.counter("faults.crash").value == 1
+        view = state.view()
+        assert view.down == {1} and view.slow == {0}
+
+
+class TestClusterView:
+    def test_groups_without_partition(self):
+        view = ClusterView(4, down=frozenset({3}))
+        assert view.groups() == (frozenset({0, 1, 2}),)
+
+    def test_groups_with_partition(self):
+        view = ClusterView(4, down=frozenset({0}), isolated=frozenset({0, 1}))
+        assert set(view.groups()) == {frozenset({2, 3}), frozenset({1})}
+
+    def test_all_down_no_groups(self):
+        assert ClusterView(2, down=frozenset({0, 1})).groups() == ()
+
+
+# ----------------------------------------------------------------------
+# Degraded-mode analytics
+# ----------------------------------------------------------------------
+class TestModeStats:
+    def test_healthy_view_full_service(self, placement):
+        stats = mode_stats(placement, ClusterView(3), [("a", "b"), ("c", "d")])
+        assert stats.operation_availability == 1.0
+        assert stats.object_availability == 1.0
+        assert stats.lost_objects == 0
+        assert stats.cost_inflation == 1.0
+
+    def test_crash_loses_objects_and_operations(self, placement):
+        view = ClusterView(3, down=frozenset({0}))
+        stats = mode_stats(placement, view, [("a", "b"), ("c", "d"), ("a", "c")])
+        assert stats.lost_objects == 2  # a and b
+        assert stats.servable_operations == 1  # only (c, d)
+        assert stats.object_availability == pytest.approx(0.5)
+        # The (a, b) pair weight (r * min size = 0.5 * 2) is lost, not inflated.
+        assert stats.lost_pair_weight == pytest.approx(1.0)
+
+    def test_partition_blocks_cross_side_operations(self, placement):
+        # a,b,c reachable on one side (n0, n1); d alone on n2.
+        view = ClusterView(3, isolated=frozenset({2}))
+        stats = mode_stats(placement, view, [("a", "b"), ("c", "d")])
+        assert stats.lost_objects == 0  # every object is alive somewhere
+        assert stats.servable_operations == 1  # only (a, b); (c, d) spans the cut
+        assert stats.lost_pair_weight == pytest.approx(0.8)  # (c, d): 0.4 * 2
+
+    def test_replicated_copy_survives(self, problem):
+        replicated = ReplicatedPlacement(
+            problem, np.array([[0, 1], [0, 2], [1, 2], [2, 0]])
+        )
+        view = ClusterView(3, down=frozenset({0}))
+        stats = mode_stats(replicated, view, [("a", "b"), ("c", "d")])
+        assert stats.lost_objects == 0
+        assert stats.operation_availability == 1.0
+
+    def test_inflation_when_colocated_copies_die(self, problem):
+        # a,b colocated on n0 with spares split; n0 down => pair goes remote.
+        replicated = ReplicatedPlacement(
+            problem, np.array([[0, 1], [0, 2], [1, 0], [1, 2]])
+        )
+        healthy = replicated.communication_cost()
+        assert healthy == 0.0  # everything colocated somewhere
+        stats = mode_stats(
+            replicated, ClusterView(3, down=frozenset({0})), [("a", "b")], healthy
+        )
+        assert stats.degraded_cost == pytest.approx(1.0)  # (a, b): 0.5 * 2
+        assert stats.cost_inflation == pytest.approx(1.0)  # over zero healthy
+
+
+# ----------------------------------------------------------------------
+# Self-healing: retry, breaker, fallback chain
+# ----------------------------------------------------------------------
+class TestRetry:
+    def test_succeeds_after_transient_failures(self):
+        sleeps = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise SolverError("transient")
+            return "ok"
+
+        result = retry_with_backoff(
+            flaky,
+            policy=RetryPolicy(attempts=4, base_delay_s=0.01),
+            retry_on=(SolverError,),
+            sleep=sleeps.append,
+        )
+        assert result == "ok"
+        assert calls["n"] == 3
+        assert sleeps == [0.01, 0.02]  # exponential
+
+    def test_exhausted_raises_last_error(self):
+        def always(): raise SolverError("nope")
+
+        with pytest.raises(SolverError, match="nope"):
+            retry_with_backoff(
+                always,
+                policy=RetryPolicy(attempts=2, base_delay_s=0),
+                sleep=lambda s: None,
+            )
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def typed():
+            calls["n"] += 1
+            raise KeyError("not transient")
+
+        with pytest.raises(KeyError):
+            retry_with_backoff(typed, retry_on=(SolverError,), sleep=lambda s: None)
+        assert calls["n"] == 1
+
+    def test_delay_capped(self):
+        policy = RetryPolicy(attempts=5, base_delay_s=1.0, max_delay_s=2.0)
+        assert list(policy.delays()) == [1.0, 2.0, 2.0, 2.0]
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+
+class TestCircuitBreaker:
+    def _failing(self):
+        raise SolverError("boom")
+
+    def test_opens_after_threshold(self):
+        clock = {"t": 0.0}
+        breaker = CircuitBreaker("x", failure_threshold=2, clock=lambda: clock["t"])
+        for _ in range(2):
+            with pytest.raises(SolverError):
+                breaker.call(self._failing)
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "never runs")
+
+    def test_half_open_probe_closes_on_success(self):
+        clock = {"t": 0.0}
+        breaker = CircuitBreaker(
+            "x", failure_threshold=1, reset_after_s=10.0, clock=lambda: clock["t"]
+        )
+        with pytest.raises(SolverError):
+            breaker.call(self._failing)
+        clock["t"] = 11.0
+        assert breaker.state == "half-open"
+        assert breaker.call(lambda: 42) == 42
+        assert breaker.state == "closed"
+
+    def test_half_open_failure_reopens(self):
+        clock = {"t": 0.0}
+        breaker = CircuitBreaker(
+            "x", failure_threshold=3, reset_after_s=5.0, clock=lambda: clock["t"]
+        )
+        for _ in range(3):
+            with pytest.raises(SolverError):
+                breaker.call(self._failing)
+        clock["t"] = 6.0
+        with pytest.raises(SolverError):
+            breaker.call(self._failing)  # half-open probe fails
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: 1)
+
+    def test_metrics(self):
+        inst = obs.enable(obs.Instrumentation())
+        try:
+            breaker = CircuitBreaker("m", failure_threshold=1, clock=lambda: 0.0)
+            with pytest.raises(SolverError):
+                breaker.call(self._failing)
+            with pytest.raises(CircuitOpenError):
+                breaker.call(lambda: 1)
+        finally:
+            obs.disable()
+        assert inst.metrics.counter("circuit.opened").value == 1
+        assert inst.metrics.counter("circuit.rejected").value == 1
+
+
+class TestFallbackChain:
+    def test_healthy_chain_uses_lprr(self, problem):
+        result = plan_with_fallbacks(problem, config=PlanConfig())
+        assert result.planner == "resilient"
+        assert result.diagnostics["delegate"] == "lprr"
+        chain = result.diagnostics["fallback_chain"]
+        assert chain[0] == {"step": "lprr:auto", "outcome": "ok", "detail": ""}
+        assert all(s["outcome"] == "skipped" for s in chain[1:])
+        assert result.diagnostics["degraded"] is False
+
+    def test_scipy_failure_falls_back_to_simplex(self, problem, monkeypatch):
+        import repro.lpsolve.scipy_backend as scipy_backend
+
+        def broken(*args, **kwargs):
+            raise SolverError("forced scipy failure")
+
+        monkeypatch.setattr(scipy_backend, "solve_with_scipy", broken)
+        result = plan_with_fallbacks(problem, config=PlanConfig())
+        chain = result.diagnostics["fallback_chain"]
+        assert chain[0]["outcome"] == "failed"
+        assert "forced scipy failure" in chain[0]["detail"]
+        assert chain[1] == {"step": "lprr:simplex", "outcome": "ok", "detail": ""}
+        assert result.diagnostics["delegate"] == "lprr"
+        assert result.placement.is_feasible()
+
+    def test_registered_as_resilient_planner(self, problem, monkeypatch):
+        import repro.lpsolve.scipy_backend as scipy_backend
+
+        monkeypatch.setattr(
+            scipy_backend,
+            "solve_with_scipy",
+            lambda *a, **k: (_ for _ in ()).throw(SolverError("down")),
+        )
+        result = plan(problem, "resilient", PlanConfig())
+        assert result.planner == "resilient"
+        assert [s["step"] for s in result.diagnostics["fallback_chain"]] == [
+            "lprr:auto",
+            "lprr:simplex",
+            "greedy",
+            "hash",
+        ]
+
+    def test_all_lp_failure_degrades_to_greedy(self, problem, monkeypatch):
+        from repro.core import lprr as lprr_mod
+
+        class Broken:
+            def __init__(self, *a, **k): pass
+            def plan(self, problem): raise SolverError("no LP anywhere")
+
+        monkeypatch.setattr(lprr_mod, "LPRRPlanner", Broken)
+        result = plan_with_fallbacks(problem, config=PlanConfig())
+        assert result.diagnostics["delegate"] == "greedy"
+        assert result.diagnostics["degraded"] is True
+        chain = {s["step"]: s["outcome"] for s in result.diagnostics["fallback_chain"]}
+        assert chain["lprr:auto"] == "failed"
+        assert chain["lprr:simplex"] == "failed"
+        assert chain["greedy"] == "ok"
+
+    def test_open_breaker_skips_backend(self, problem):
+        breaker = backend_breaker("auto")
+        for _ in range(breaker.failure_threshold):
+            breaker.record_failure()
+        result = plan_with_fallbacks(problem, config=PlanConfig())
+        chain = result.diagnostics["fallback_chain"]
+        assert chain[0] == {
+            "step": "lprr:auto",
+            "outcome": "skipped",
+            "detail": "circuit open",
+        }
+        assert result.diagnostics["delegate"] == "lprr"  # simplex carried it
+
+    def test_large_problem_skips_simplex(self, monkeypatch):
+        rng = np.random.default_rng(0)
+        sizes = {f"o{i}": 1.0 for i in range(80)}
+        names = sorted(sizes)
+        corr = {
+            (names[int(a)], names[int(b)]): 1.0
+            for a, b in (
+                sorted(rng.choice(80, size=2, replace=False)) for _ in range(400)
+            )
+        }
+        # (objects + pairs) * nodes far exceeds the simplex-fallback cap.
+        big = PlacementProblem.build(sizes, 24, corr)
+
+        import repro.lpsolve.scipy_backend as scipy_backend
+
+        monkeypatch.setattr(
+            scipy_backend,
+            "solve_with_scipy",
+            lambda *a, **k: (_ for _ in ()).throw(SolverError("down")),
+        )
+        result = plan_with_fallbacks(big, config=PlanConfig())
+        chain = {s["step"]: s for s in result.diagnostics["fallback_chain"]}
+        assert chain["lprr:simplex"]["outcome"] == "skipped"
+        assert "too large" in chain["lprr:simplex"]["detail"]
+        assert result.diagnostics["delegate"] == "greedy"
+
+    def test_lp_limits_surface_as_solver_error(self, problem):
+        from repro.core.lp import solve_placement_lp
+
+        with pytest.raises(SolverError, match="iteration limit"):
+            solve_placement_lp(problem, backend="simplex", iteration_limit=1)
+
+
+# ----------------------------------------------------------------------
+# Incremental repair
+# ----------------------------------------------------------------------
+class TestRepair:
+    def test_no_failures_is_a_noop(self, placement):
+        outcome = replace_lost_objects(placement, [])
+        assert outcome.plan.num_moves == 0
+        assert outcome.placement is placement
+
+    def test_lost_objects_move_to_survivors(self, placement):
+        trace = [("a", "b"), ("c", "d"), ("a", "c")]
+        outcome = replace_lost_objects(placement, ["n0"], operations=trace)
+        assert set(outcome.lost_objects) == {"a", "b"}
+        assert outcome.plan.num_moves == 2
+        for move in outcome.plan.migrations:
+            assert move.source == "n0"
+            assert move.destination in {"n1", "n2"}
+        # Nothing remains on the failed node.
+        assert all(
+            node != "n0" for node in outcome.placement.to_mapping().values()
+        )
+        assert outcome.availability_before < 1.0
+        assert outcome.availability_after == 1.0
+        assert outcome.restored > 0
+
+    def test_correlated_pair_reunited(self, problem):
+        # a on n0 (fails), b on n1: repair should put a next to b.
+        placement = Placement(problem, np.array([0, 1, 2, 2]))
+        outcome = replace_lost_objects(placement, ["n0"])
+        mapping = outcome.placement.to_mapping()
+        assert mapping["a"] == mapping["b"] == "n1"
+
+    def test_capacity_respected_when_possible(self):
+        problem = PlacementProblem.build(
+            {"x": 4.0, "y": 4.0, "z": 1.0},
+            {"n0": 9.0, "n1": 4.5, "n2": 9.0},
+            {("x", "y"): 1.0},
+        )
+        placement = Placement(problem, np.array([0, 1, 2]))
+        outcome = replace_lost_objects(placement, ["n0"], capacity_tolerance=0.0)
+        # x (4.0) cannot join y on n1 (4.0/4.5 used): goes to n2 instead.
+        assert outcome.placement.to_mapping()["x"] == "n2"
+
+    def test_all_nodes_failed_raises(self, placement):
+        with pytest.raises(PlacementError, match="every node failed"):
+            replace_lost_objects(placement, ["n0", "n1", "n2"])
+
+    def test_unknown_node_rejected(self, placement):
+        with pytest.raises(Exception):
+            replace_lost_objects(placement, ["ghost"])
+
+
+# ----------------------------------------------------------------------
+# Degraded cluster execution
+# ----------------------------------------------------------------------
+class TestClusterFailover:
+    def test_unserved_operations_flagged(self, placement):
+        cluster = Cluster(placement)
+        cluster.fail("n0")
+        result = cluster.execute_intersection(["a", "c"])
+        assert not result.served
+        assert result.bytes_transferred == 0
+        ok = cluster.execute_intersection(["c", "d"])
+        assert ok.served
+
+    def test_recover_restores_service(self, placement):
+        cluster = Cluster(placement)
+        cluster.fail("n0")
+        cluster.recover("n0")
+        assert cluster.execute_intersection(["a", "c"]).served
+        assert cluster.unreachable_objects() == []
+
+    def test_unreachable_objects_listed(self, placement):
+        cluster = Cluster(placement)
+        cluster.fail("n0")
+        assert cluster.unreachable_objects() == ["a", "b"]
+
+    def test_migrate_onto_failed_node_rejected(self, placement):
+        cluster = Cluster(placement)
+        cluster.fail("n1")
+        with pytest.raises(PlacementError, match="failed node"):
+            cluster.migrate("a", "n1")
+
+    def test_migrate_out_of_failed_node_allowed(self, placement):
+        cluster = Cluster(placement)
+        cluster.fail("n0")
+        moved = cluster.migrate("a", "n1")
+        assert moved > 0
+        assert cluster.is_available("a")
+
+    def test_unknown_node_fail_rejected(self, placement):
+        with pytest.raises(PlacementError):
+            Cluster(placement).fail("ghost")
+
+
+# ----------------------------------------------------------------------
+# End-to-end chaos
+# ----------------------------------------------------------------------
+class TestChaos:
+    def _scenario(self, seed=5):
+        problem, operations = synthetic_scenario(
+            num_objects=20, num_nodes=4, num_operations=30, seed=seed
+        )
+        schedule = FaultSchedule.random(
+            problem.num_nodes, len(operations), seed=seed, events=5
+        )
+        return problem, operations, schedule
+
+    def test_same_seed_byte_identical_report(self):
+        problem, operations, schedule = self._scenario()
+        config = ChaosConfig(plan_config=PlanConfig(scope=15))
+        a = run_chaos(problem, operations, schedule, config, seed=5)
+        b = run_chaos(problem, operations, schedule, config, seed=5)
+        assert a.to_json() == b.to_json()
+
+    def test_replication_dominates_single_copy(self):
+        # Repair off: the single placement stays static, and every
+        # replicated copy set is a superset of the single copy, so
+        # dominance must hold epoch by epoch.
+        problem, operations, schedule = self._scenario()
+        report = run_chaos(
+            problem, operations, schedule, ChaosConfig(repair=False), seed=5
+        )
+        assert report.availability_replicated >= report.availability_single
+        for epoch in report.epochs:
+            assert (
+                epoch.replicated.operation_availability
+                >= epoch.single.operation_availability
+            )
+
+    def test_repair_restores_availability(self):
+        problem, operations, schedule = self._scenario()
+        report = run_chaos(problem, operations, schedule, seed=5)
+        repairs = [e.repair for e in report.epochs if e.repair is not None]
+        assert repairs  # the seeded schedule does crash something
+        for repair in repairs:
+            assert repair["availability_after"] >= repair["availability_before"]
+        assert report.repair_moves == sum(r["moves"] for r in repairs)
+
+    def test_no_repair_mode(self):
+        problem, operations, schedule = self._scenario()
+        report = run_chaos(
+            problem, operations, schedule, ChaosConfig(repair=False), seed=5
+        )
+        assert all(e.repair is None for e in report.epochs)
+        assert report.repair_moves == 0
+
+    def test_epochs_tile_the_trace(self):
+        problem, operations, schedule = self._scenario()
+        report = run_chaos(problem, operations, schedule, seed=5)
+        spans = [(e.start, e.end) for e in report.epochs]
+        assert spans[0][0] == 0
+        assert spans[-1][1] == len(operations)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end == start
+        assert sum(e.single.operations for e in report.epochs) == len(operations)
+
+    def test_planning_diagnostics_recorded(self):
+        problem, operations, schedule = self._scenario()
+        report = run_chaos(problem, operations, schedule, seed=5)
+        assert report.planner == "resilient"
+        assert report.planning["fallback_chain"][0]["step"] == "lprr:auto"
+
+    def test_schedule_node_mismatch_rejected(self):
+        problem, operations, _ = self._scenario()
+        schedule = FaultSchedule(problem.num_nodes + 1, ())
+        with pytest.raises(ValueError, match="nodes"):
+            run_chaos(problem, operations, schedule)
+
+    def test_empty_trace_rejected(self):
+        problem, _, _ = self._scenario()
+        with pytest.raises(ValueError, match="nonempty"):
+            run_chaos(problem, [], FaultSchedule(problem.num_nodes, ()))
+
+    def test_synthetic_scenario_deterministic(self):
+        a = synthetic_scenario(seed=9)
+        b = synthetic_scenario(seed=9)
+        assert a[1] == b[1]
+        assert list(a[0].object_ids) == list(b[0].object_ids)
+        assert np.array_equal(a[0].sizes, b[0].sizes)
+
+
+class TestChaosCli:
+    def test_cli_reports_are_byte_identical(self, tmp_path, capsys):
+        from repro.cli import main
+
+        args = [
+            "chaos",
+            "--objects", "16",
+            "--nodes", "4",
+            "--operations", "24",
+            "--events", "4",
+            "--seed", "2",
+        ]
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main([*args, "--out", str(a)]) == 0
+        assert main([*args, "--out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+        out = capsys.readouterr().out
+        assert "availability" in out
+
+    def test_cli_seed_changes_report(self, tmp_path):
+        from repro.cli import main
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        base = ["chaos", "--objects", "16", "--nodes", "4", "--operations", "24"]
+        main([*base, "--seed", "1", "--out", str(a)])
+        main([*base, "--seed", "2", "--out", str(b)])
+        assert a.read_bytes() != b.read_bytes()
