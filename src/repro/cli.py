@@ -7,6 +7,7 @@ Subcommands::
     repro evaluate     — replay a query log against a placement
     repro experiment   — regenerate a paper figure (fig2/fig5/fig6/fig7/all)
     repro chaos        — seeded fault-injection run with a degraded report
+    repro online       — streaming control loop over a drifting query stream
 
 ``place``, ``evaluate``, and ``experiment`` accept ``--metrics-out PATH``
 (write a machine-readable run report) and ``--trace`` (print the span
@@ -292,6 +293,55 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_online(args: argparse.Namespace) -> int:
+    """Run the streaming control loop over a synthetic drifting stream.
+
+    Generates a diurnal query stream whose topic popularity shifts
+    halfway through, mines pair correlations with the memory-bounded
+    sketch estimator, and drives
+    :class:`~repro.online.controller.OnlinePlanner`: drift-triggered
+    replans through the resilient fallback chain, migrations under a
+    per-period byte budget.  The :class:`~repro.online.OnlineReport` —
+    a pure function of the seeds, byte-identical across runs — goes to
+    ``--out``.
+    """
+    from repro.online import DriftThresholds, OnlineConfig, OnlinePlanner
+    from repro.workloads.stream import TimedQuery, generate_stream
+
+    vocabulary = [f"w{i:06d}" for i in range(args.vocabulary)]
+    model = QueryWorkloadModel(vocabulary, num_topics=args.topics, seed=args.seed)
+    shifted = model.drifted(args.shift_fraction, seed=args.seed + 1)
+    half = args.duration / 2.0
+    stream = generate_stream(model, half, base_qps=args.qps, seed=args.seed)
+    stream += [
+        TimedQuery(timed.time_s + half, timed.query)
+        for timed in generate_stream(
+            shifted, half, base_qps=args.qps, seed=args.seed + 1
+        )
+    ]
+
+    config = OnlineConfig(
+        num_nodes=args.nodes,
+        window_s=args.window,
+        sketch_width=args.sketch_width,
+        heavy_hitters=args.heavy_hitters,
+        decay=args.decay,
+        min_support=args.min_support,
+        seed=args.seed,
+        thresholds=DriftThresholds(churn=args.churn),
+        budget_fraction=args.budget_fraction,
+        planning=PlanConfig(scope=args.scope, seed=args.seed),
+    )
+    planner = OnlinePlanner({word: 1.0 for word in vocabulary}, config)
+    report = planner.run(stream)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(f"wrote online report to {args.out}", file=sys.stderr)
+    print(report.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -384,6 +434,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="PATH", default=None, help="write report JSON")
     _add_obs_args(p)
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "online", help="streaming control loop over a drifting query stream"
+    )
+    p.add_argument("--vocabulary", type=int, default=200, help="keyword universe")
+    p.add_argument("--topics", type=int, default=30, help="workload topics")
+    p.add_argument("--nodes", type=int, default=5, help="placement nodes")
+    p.add_argument("--duration", type=float, default=3600.0, help="stream seconds")
+    p.add_argument("--qps", type=float, default=1.0, help="mean arrival rate")
+    p.add_argument("--window", type=float, default=600.0, help="period seconds")
+    p.add_argument(
+        "--shift-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of topics whose popularity shifts mid-stream",
+    )
+    p.add_argument("--sketch-width", type=int, default=512, help="Count-Min width")
+    p.add_argument(
+        "--heavy-hitters", type=int, default=128, help="Space-Saving capacity"
+    )
+    p.add_argument("--decay", type=float, default=0.7, help="per-period decay")
+    p.add_argument("--min-support", type=int, default=1, help="pair support floor")
+    p.add_argument("--churn", type=float, default=0.4, help="replan churn threshold")
+    p.add_argument(
+        "--budget-fraction",
+        type=float,
+        default=0.1,
+        help="per-replan migration budget as a fraction of total size",
+    )
+    p.add_argument("--scope", type=int, default=None, help="optimization scope cap")
+    p.add_argument("--seed", type=int, default=0, help="stream + sketch seed")
+    p.add_argument("--out", metavar="PATH", default=None, help="write report JSON")
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_online)
     return parser
 
 

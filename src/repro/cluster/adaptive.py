@@ -17,6 +17,7 @@ from typing import Callable, Hashable, Iterable, Mapping, Sequence
 
 from repro.analysis.stability import stability_report
 from repro.core.correlation import (
+    PairEstimator,
     cooccurrence_correlations,
     two_smallest_correlations,
 )
@@ -65,6 +66,12 @@ class AdaptivePlacer:
         min_count: Minimum period-one observations for a pair to count
             in the stability comparison (filters sampling noise).
         top_pairs: How many reference pairs the stability check tracks.
+        estimator: Optional factory of
+            :class:`~repro.core.correlation.PairEstimator` backends; a
+            fresh instance estimates each period's correlations (e.g.
+            ``lambda: SketchCorrelationEstimator(...)`` for bounded
+            memory).  ``None`` (the default) keeps the exact
+            trace-function path, byte-identical to earlier releases.
     """
 
     def __init__(
@@ -77,6 +84,7 @@ class AdaptivePlacer:
         correlation_mode: str = "two_smallest",
         min_count: int = 5,
         top_pairs: int = 1000,
+        estimator: Callable[[], PairEstimator] | None = None,
     ):
         if not 0 <= drift_threshold <= 1:
             raise ValueError("drift_threshold must be in [0, 1]")
@@ -94,6 +102,7 @@ class AdaptivePlacer:
         self.correlation_mode = correlation_mode
         self.min_count = min_count
         self.top_pairs = top_pairs
+        self.estimator_factory = estimator
         self._reference: dict | None = None
         self._placement: Placement | None = None
 
@@ -112,10 +121,13 @@ class AdaptivePlacer:
     # Control loop
     # ------------------------------------------------------------------
     def _estimate(self, operations: Iterable[Operation], min_support: int = 1) -> dict:
-        trace = list(operations)
+        if self.estimator_factory is not None:
+            backend = self.estimator_factory()
+            backend.observe_all(operations)
+            return backend.correlations(min_support)
         if self.correlation_mode == "two_smallest":
-            return two_smallest_correlations(trace, self.sizes, min_support)
-        return cooccurrence_correlations(trace, min_support)
+            return two_smallest_correlations(operations, self.sizes, min_support)
+        return cooccurrence_correlations(operations, min_support)
 
     def _problem_for(self, correlations: dict) -> PlacementProblem:
         return PlacementProblem.build(self.sizes, self.num_nodes, correlations)
@@ -136,7 +148,6 @@ class AdaptivePlacer:
         """
         if self._placement is None or self._reference is None:
             raise RuntimeError("bootstrap the placer with an initial trace first")
-        operations = list(operations)
         fresh = self._estimate(operations)
         supported_reference = {
             pair: p

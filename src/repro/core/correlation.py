@@ -15,16 +15,24 @@ operation to one or more two-object operations:
 All three estimators below take a trace — an iterable of operations,
 each an iterable of object ids — and return a dict mapping canonical
 id pairs to empirical probabilities (pair count / number of operations
-counted).
+counted).  Every estimator makes exactly **one pass** over the trace,
+so single-use iterables (generators, streaming readers) work without
+materializing the trace in memory.
+
+The per-operation reduction is exposed as :func:`operation_pairs` and
+the incremental surface as the :class:`PairEstimator` protocol, shared
+by the exact :class:`CorrelationEstimator` here and the memory-bounded
+sketch backend in :mod:`repro.online.sketch`.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Hashable, Iterable, Mapping, Sequence
+from typing import Hashable, Iterable, Mapping, Protocol, Sequence, runtime_checkable
 
 ObjectId = Hashable
 Operation = Sequence[ObjectId]
+Pair = tuple[ObjectId, ObjectId]
 PairProbabilities = dict[tuple[ObjectId, ObjectId], float]
 
 
@@ -36,7 +44,7 @@ def _canonical(a: ObjectId, b: ObjectId) -> tuple[ObjectId, ObjectId]:
         return (a, b) if repr(a) <= repr(b) else (b, a)
 
 
-def _finalize(counts: Counter, total_operations: int, min_support: int) -> PairProbabilities:
+def _finalize(counts: Counter, total_operations: float, min_support: int) -> PairProbabilities:
     if total_operations == 0:
         return {}
     return {
@@ -44,6 +52,70 @@ def _finalize(counts: Counter, total_operations: int, min_support: int) -> PairP
         for pair, count in counts.items()
         if count >= min_support
     }
+
+
+def operation_pairs(
+    operation: Operation,
+    mode: str = "cooccurrence",
+    sizes: Mapping[ObjectId, float] | None = None,
+) -> list[Pair]:
+    """Reduce one operation to the pairs it contributes (Section 3.2).
+
+    This is the single shared reduction behind every correlation
+    estimator — exact or sketched:
+
+    * ``"cooccurrence"`` — every distinct pair of the operation.
+    * ``"two_smallest"`` — the two smallest known objects (intersection
+      approximation); ties on size break by id repr.
+    * ``"union_largest"`` — the largest known object paired with each
+      other one (union approximation).
+
+    Args:
+        operation: One operation as an iterable of object ids
+            (duplicates ignored).
+        mode: One of :attr:`CorrelationEstimator.MODES`.
+        sizes: Object sizes; required for the size-aware modes, where
+            objects missing from the mapping are ignored.
+
+    Returns:
+        Canonical pairs, possibly empty; each pair appears at most once.
+    """
+    if mode == "cooccurrence":
+        objects = sorted(set(operation), key=repr)
+        return [
+            _canonical(objects[a], objects[b])
+            for a in range(len(objects))
+            for b in range(a + 1, len(objects))
+        ]
+    if mode not in CorrelationEstimator.MODES:
+        raise ValueError(
+            f"unknown mode {mode!r}; expected one of {CorrelationEstimator.MODES}"
+        )
+    if sizes is None:
+        raise ValueError(f"mode {mode!r} requires object sizes")
+    known = [o for o in set(operation) if o in sizes]
+    if len(known) < 2:
+        return []
+    if mode == "two_smallest":
+        known.sort(key=lambda o: (sizes[o], repr(o)))
+        return [_canonical(known[0], known[1])]
+    largest = max(known, key=lambda o: (sizes[o], repr(o)))
+    return [_canonical(largest, other) for other in known if other != largest]
+
+
+def _single_pass(
+    trace: Iterable[Operation],
+    mode: str,
+    sizes: Mapping[ObjectId, float] | None,
+    min_support: int,
+) -> PairProbabilities:
+    """Count pairs in one pass; ``trace`` may be a one-shot iterable."""
+    counts: Counter = Counter()
+    total = 0
+    for operation in trace:
+        total += 1
+        counts.update(operation_pairs(operation, mode, sizes))
+    return _finalize(counts, total, min_support)
 
 
 def cooccurrence_correlations(
@@ -56,21 +128,14 @@ def cooccurrence_correlations(
 
     Args:
         trace: Operations; each operation is an iterable of object ids
-            (duplicates within an operation are ignored).
+            (duplicates within an operation are ignored).  A single-use
+            iterable is fine — the trace is read exactly once.
         min_support: Drop pairs observed fewer than this many times.
 
     Returns:
         Mapping from canonical pairs to empirical probabilities.
     """
-    counts: Counter = Counter()
-    total = 0
-    for operation in trace:
-        total += 1
-        objects = sorted(set(operation), key=repr)
-        for a_pos in range(len(objects)):
-            for b_pos in range(a_pos + 1, len(objects)):
-                counts[_canonical(objects[a_pos], objects[b_pos])] += 1
-    return _finalize(counts, total, min_support)
+    return _single_pass(trace, "cooccurrence", None, min_support)
 
 
 def two_smallest_correlations(
@@ -86,21 +151,13 @@ def two_smallest_correlations(
     mirroring the paper's per-operation probability definition.
 
     Args:
-        trace: Operations as iterables of object ids.
+        trace: Operations as iterables of object ids, read in a single
+            pass (generators work).
         sizes: Object sizes used to find the two smallest.  Objects
             missing from this mapping are ignored.
         min_support: Drop pairs observed fewer than this many times.
     """
-    counts: Counter = Counter()
-    total = 0
-    for operation in trace:
-        total += 1
-        known = [o for o in set(operation) if o in sizes]
-        if len(known) < 2:
-            continue
-        known.sort(key=lambda o: (sizes[o], repr(o)))
-        counts[_canonical(known[0], known[1])] += 1
-    return _finalize(counts, total, min_support)
+    return _single_pass(trace, "two_smallest", sizes, min_support)
 
 
 def union_largest_correlations(
@@ -115,29 +172,46 @@ def union_largest_correlations(
     contributes ``q - 1`` pairs, all sharing the largest object.
 
     Args:
-        trace: Operations as iterables of object ids.
+        trace: Operations as iterables of object ids, read in a single
+            pass (generators work).
         sizes: Object sizes used to find the largest.
         min_support: Drop pairs observed fewer than this many times.
     """
-    counts: Counter = Counter()
-    total = 0
-    for operation in trace:
-        total += 1
-        known = [o for o in set(operation) if o in sizes]
-        if len(known) < 2:
-            continue
-        largest = max(known, key=lambda o: (sizes[o], repr(o)))
-        for other in known:
-            if other != largest:
-                counts[_canonical(largest, other)] += 1
-    return _finalize(counts, total, min_support)
+    return _single_pass(trace, "union_largest", sizes, min_support)
+
+
+@runtime_checkable
+class PairEstimator(Protocol):
+    """Anything that estimates pair correlations from an operation stream.
+
+    Implemented exactly by :class:`CorrelationEstimator` and in bounded
+    memory by
+    :class:`~repro.online.sketch.SketchCorrelationEstimator`; the
+    adaptive placer and the online controller accept either.
+    """
+
+    @property
+    def num_operations(self) -> int: ...
+
+    def observe(self, operation: Operation) -> None: ...
+
+    def observe_all(self, trace: Iterable[Operation]) -> None: ...
+
+    def correlations(self, min_support: int = 1) -> PairProbabilities: ...
+
+    def top_pairs(self, k: int) -> list[tuple[Pair, float]]: ...
+
+    def decay(self, factor: float) -> None: ...
 
 
 class CorrelationEstimator:
     """Incremental pair-correlation estimation over a stream of operations.
 
     Useful when the trace does not fit in memory or arrives online.
-    The estimation mode mirrors the module-level functions.
+    The estimation mode mirrors the module-level functions.  Memory
+    grows with the number of *distinct* pairs; for a bounded-memory
+    backend with the same :class:`PairEstimator` surface see
+    :class:`~repro.online.sketch.SketchCorrelationEstimator`.
 
     Example:
         >>> est = CorrelationEstimator(mode="cooccurrence")
@@ -161,32 +235,44 @@ class CorrelationEstimator:
         self.mode = mode
         self.sizes = sizes
         self._counts: Counter = Counter()
-        self._total = 0
+        self._total = 0.0
 
     @property
     def num_operations(self) -> int:
-        """Operations observed so far."""
-        return self._total
+        """Operations observed so far (discounted after :meth:`decay`)."""
+        return int(self._total)
 
     def observe(self, operation: Operation) -> None:
         """Fold one operation into the estimate."""
-        single = [operation]
-        if self.mode == "cooccurrence":
-            partial = cooccurrence_correlations(single)
-        elif self.mode == "two_smallest":
-            partial = two_smallest_correlations(single, self.sizes or {})
-        else:
-            partial = union_largest_correlations(single, self.sizes or {})
         self._total += 1
-        for pair in partial:
-            # Each helper returns probability over one operation, i.e.
-            # count / 1, so the value is the raw pair count.
-            self._counts[pair] += int(round(partial[pair]))
+        self._counts.update(operation_pairs(operation, self.mode, self.sizes))
 
     def observe_all(self, trace: Iterable[Operation]) -> None:
         """Fold every operation of ``trace`` into the estimate."""
         for operation in trace:
             self.observe(operation)
+
+    def decay(self, factor: float) -> None:
+        """Exponentially age the history: scale every count by ``factor``.
+
+        Probabilities (count / total) are unchanged by a decay, but the
+        *support* of old pairs shrinks, so correlations that stop being
+        observed fade below ``min_support`` and eventually vanish.
+
+        Args:
+            factor: Multiplier in ``[0, 1]``; 1 is a no-op, 0 forgets
+                everything.
+        """
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError("decay factor must be in [0, 1]")
+        if factor == 1.0:
+            return
+        self._total *= factor
+        if factor == 0.0:
+            self._counts.clear()
+            return
+        for pair in self._counts:
+            self._counts[pair] *= factor
 
     def correlations(self, min_support: int = 1) -> PairProbabilities:
         """Current pair-probability estimates."""

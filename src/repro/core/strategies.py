@@ -382,6 +382,17 @@ def _resilient_planner(
     return plan_with_fallbacks(problem, config=config)
 
 
+@register_planner("online")
+def _online_planner(
+    problem: PlacementProblem, *, config: PlanConfig = PlanConfig()
+) -> PlanResult:
+    # Imported lazily to avoid a cycle (the controller plans via this
+    # registry's machinery).
+    from repro.online.controller import heavy_hitter_plan
+
+    return heavy_hitter_plan(problem, config=config)
+
+
 # ----------------------------------------------------------------------
 # Deprecated pre-1.1 shims
 # ----------------------------------------------------------------------

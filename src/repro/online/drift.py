@@ -1,0 +1,188 @@
+"""Replan triggers for the online control loop.
+
+Replanning costs migration bytes and an LP solve, so the controller
+only does it when the estimated correlations have *materially* moved
+away from the ones the current placement was built for.  Two
+complementary signals, both computed from the memory-bounded estimate:
+
+* **Top-K pair churn** — the Jaccard distance between the top-K pair
+  *sets* at the last replan and now.  Catches regime changes where new
+  pairs become important (the paper's Figure 2B stability measurement
+  is the offline analogue).
+* **Estimated-cost inflation** — the current placement's communication
+  cost under the *fresh* correlation estimate, relative to its cost at
+  the last replan.  Catches drift that reshuffles weight among pairs
+  the placement already splits, even when the top-K set is unchanged.
+
+Either signal crossing its threshold requests a replan; periods with
+too few operations are never judged (sampling noise would dominate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping
+
+ObjectId = Hashable
+Pair = tuple[ObjectId, ObjectId]
+
+
+@dataclass(frozen=True)
+class DriftThresholds:
+    """When the controller is allowed to replan.
+
+    Attributes:
+        churn: Replan when the top-K Jaccard distance exceeds this
+            (0 = identical sets, 1 = disjoint).
+        inflation: Replan when the placement's estimated cost exceeds
+            ``inflation`` times its cost at the last replan.
+        top_k: How many strongest pairs the churn signal compares.
+        min_operations: Periods observing fewer operations than this
+            are never judged for drift.
+    """
+
+    churn: float = 0.4
+    inflation: float = 1.25
+    top_k: int = 32
+    min_operations: int = 20
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.churn <= 1.0:
+            raise ValueError("churn threshold must be in [0, 1]")
+        if self.inflation < 1.0:
+            raise ValueError("inflation threshold must be at least 1")
+        if self.top_k < 1:
+            raise ValueError("top_k must be at least 1")
+        if self.min_operations < 0:
+            raise ValueError("min_operations must be nonnegative")
+
+
+@dataclass(frozen=True)
+class DriftDecision:
+    """One period's drift verdict.
+
+    Attributes:
+        replan: Whether a replan is requested.
+        churn: Measured top-K Jaccard distance.
+        cost_now: Current placement cost under the fresh estimate.
+        cost_reference: Its cost (under the then-fresh estimate) at the
+            last replan.
+        reasons: Which triggers fired (``"churn"``, ``"inflation"``);
+            empty when stable or unjudged.
+        judged: False when the period had too few operations to judge.
+    """
+
+    replan: bool
+    churn: float
+    cost_now: float
+    cost_reference: float
+    reasons: tuple[str, ...] = ()
+    judged: bool = True
+
+    @property
+    def inflation(self) -> float | None:
+        """Cost ratio now/reference, or None when the reference is 0."""
+        if self.cost_reference > 0:
+            return self.cost_now / self.cost_reference
+        return None
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (floats rounded for byte-stable output)."""
+        inflation = self.inflation
+        return {
+            "replan": self.replan,
+            "judged": self.judged,
+            "churn": round(self.churn, 9),
+            "cost_now": round(self.cost_now, 9),
+            "cost_reference": round(self.cost_reference, 9),
+            "inflation": None if inflation is None else round(inflation, 9),
+            "reasons": list(self.reasons),
+        }
+
+
+def pair_churn(
+    reference: Iterable[Pair], fresh: Iterable[Pair]
+) -> float:
+    """Jaccard distance between two pair sets (0 same, 1 disjoint).
+
+    Two empty sets are identical by convention (distance 0).
+    """
+    a, b = set(reference), set(fresh)
+    union = a | b
+    if not union:
+        return 0.0
+    return 1.0 - len(a & b) / len(union)
+
+
+def _top_pair_set(
+    correlations: Mapping[Pair, float], k: int
+) -> frozenset[Pair]:
+    ranked = sorted(correlations.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+    return frozenset(pair for pair, _p in ranked[:k])
+
+
+@dataclass
+class DriftDetector:
+    """Tracks the reference state drift is measured against.
+
+    :meth:`rebase` records the correlation snapshot and placement cost
+    right after a (re)plan; :meth:`assess` compares each subsequent
+    period against that reference.
+
+    Attributes:
+        thresholds: The trigger configuration.
+    """
+
+    thresholds: DriftThresholds = field(default_factory=DriftThresholds)
+    _reference_pairs: frozenset[Pair] = frozenset()
+    _reference_cost: float = 0.0
+
+    def rebase(
+        self, correlations: Mapping[Pair, float], placement_cost: float
+    ) -> None:
+        """Reset the reference to a freshly planned state."""
+        self._reference_pairs = _top_pair_set(
+            correlations, self.thresholds.top_k
+        )
+        self._reference_cost = float(placement_cost)
+
+    def assess(
+        self,
+        correlations: Mapping[Pair, float],
+        placement_cost: float,
+        period_operations: int,
+    ) -> DriftDecision:
+        """Judge one period's estimate against the reference.
+
+        Args:
+            correlations: Fresh pair-probability estimates.
+            placement_cost: The current placement's cost under them.
+            period_operations: Operations observed this period — below
+                ``thresholds.min_operations`` the period is not judged.
+
+        Returns:
+            The period's :class:`DriftDecision`.
+        """
+        fresh = _top_pair_set(correlations, self.thresholds.top_k)
+        churn = pair_churn(self._reference_pairs, fresh)
+        cost_now = float(placement_cost)
+        if period_operations < self.thresholds.min_operations:
+            return DriftDecision(
+                replan=False,
+                churn=churn,
+                cost_now=cost_now,
+                cost_reference=self._reference_cost,
+                judged=False,
+            )
+        reasons = []
+        if churn > self.thresholds.churn:
+            reasons.append("churn")
+        if cost_now > self.thresholds.inflation * self._reference_cost + 1e-12:
+            reasons.append("inflation")
+        return DriftDecision(
+            replan=bool(reasons),
+            churn=churn,
+            cost_now=cost_now,
+            cost_reference=self._reference_cost,
+            reasons=tuple(reasons),
+        )

@@ -1,0 +1,415 @@
+"""Memory-bounded pair-frequency sketches.
+
+The offline pipeline estimates ``r(i, j)`` with exact ``Counter``s —
+O(#distinct pairs) memory, which a query stream over a large vocabulary
+blows through quickly.  This module bounds that memory with two classic
+streaming summaries, both seeded and fully deterministic:
+
+* :class:`CountMinSketch` — a ``depth x width`` counter matrix with
+  pairwise hashing (Cormode & Muthukrishnan).  Estimates never
+  *under*-count; with total increment mass ``N`` each estimate
+  overcounts by at most ``(e / width) * N`` with probability at least
+  ``1 - e^-depth``.
+* :class:`SpaceSavingPairs` — the Space-Saving heavy-hitter tracker
+  (Metwally, Agrawal & El Abbadi) specialized for object pairs: at most
+  ``capacity`` pairs are tracked, every pair with true count above
+  ``N / capacity`` is guaranteed to be tracked, and each tracked count
+  overcounts by at most its recorded ``error``.
+
+:class:`SketchCorrelationEstimator` combines the two behind the
+:class:`~repro.core.correlation.PairEstimator` protocol: Space-Saving
+supplies *which* pairs are heavy, the Count-Min estimate tightens
+*how* heavy, and the per-operation pair reduction is the same
+:func:`~repro.core.correlation.operation_pairs` the exact estimators
+use.  Memory is O(width x depth + capacity) cells regardless of stream
+length, and everything round-trips through ``to_dict``/``from_dict``
+(JSON-serializable object ids assumed for the pair tracker).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Hashable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.correlation import (
+    CorrelationEstimator,
+    PairProbabilities,
+    operation_pairs,
+)
+
+ObjectId = Hashable
+Operation = Sequence[ObjectId]
+Pair = tuple[ObjectId, ObjectId]
+
+
+class CountMinSketch:
+    """A seeded, deterministic Count-Min sketch over hashable keys.
+
+    Keys are hashed through BLAKE2b keyed with the seed, then spread
+    over ``depth`` rows with the Kirsch-Mitzenmacher double-hashing
+    construction — no reliance on Python's randomized ``hash()``, so
+    the same (seed, stream) always produces the same cells.
+
+    Args:
+        width: Counters per row; the overcount bound is
+            ``(e / width) * total``.
+        depth: Independent rows; the bound holds with probability
+            ``1 - e^-depth``.
+        seed: Hash seed; sketches merge only when seeds (and shapes)
+            match.
+    """
+
+    def __init__(self, width: int = 1024, depth: int = 4, seed: int = 0):
+        if width < 1 or depth < 1:
+            raise ValueError("width and depth must be at least 1")
+        self.width = int(width)
+        self.depth = int(depth)
+        self.seed = int(seed)
+        self._cells = np.zeros((self.depth, self.width), dtype=float)
+        self._total = 0.0
+        self._key = hashlib.blake2b(
+            str(self.seed).encode("utf-8"), digest_size=16
+        ).digest()
+
+    # ------------------------------------------------------------------
+    # Hashing
+    # ------------------------------------------------------------------
+    def _indices(self, key: Hashable) -> list[int]:
+        digest = hashlib.blake2b(
+            repr(key).encode("utf-8"), digest_size=16, key=self._key
+        ).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:], "big") | 1  # odd, never degenerate
+        return [(h1 + row * h2) % self.width for row in range(self.depth)]
+
+    # ------------------------------------------------------------------
+    # Updates and queries
+    # ------------------------------------------------------------------
+    def add(self, key: Hashable, count: float = 1.0) -> None:
+        """Increment ``key`` by ``count`` (must be nonnegative)."""
+        if count < 0:
+            raise ValueError("count must be nonnegative")
+        for row, idx in enumerate(self._indices(key)):
+            self._cells[row, idx] += count
+        self._total += count
+
+    def estimate(self, key: Hashable) -> float:
+        """Point estimate for ``key``: never below the true count."""
+        return float(
+            min(self._cells[row, idx] for row, idx in enumerate(self._indices(key)))
+        )
+
+    def scale(self, factor: float) -> None:
+        """Multiply every cell by ``factor`` (exponential aging)."""
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError("scale factor must be in [0, 1]")
+        self._cells *= factor
+        self._total *= factor
+
+    def merge(self, other: "CountMinSketch") -> None:
+        """Add another sketch's cells into this one (same shape + seed)."""
+        if (self.width, self.depth, self.seed) != (
+            other.width,
+            other.depth,
+            other.seed,
+        ):
+            raise ValueError("can only merge sketches with identical shape and seed")
+        self._cells += other._cells
+        self._total += other._total
+
+    # ------------------------------------------------------------------
+    # Bounds and accounting
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> float:
+        """Total increment mass folded in (after any scaling)."""
+        return self._total
+
+    @property
+    def num_cells(self) -> int:
+        """Counter cells held — the sketch's entire state, O(width x depth)."""
+        return self.width * self.depth
+
+    @property
+    def epsilon(self) -> float:
+        """Relative overcount bound: estimate <= true + epsilon * total."""
+        return math.e / self.width
+
+    @property
+    def delta(self) -> float:
+        """Failure probability of the epsilon bound: ``e^-depth``."""
+        return math.exp(-self.depth)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready state; :meth:`from_dict` restores it exactly."""
+        return {
+            "width": self.width,
+            "depth": self.depth,
+            "seed": self.seed,
+            "total": self._total,
+            "cells": self._cells.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "CountMinSketch":
+        """Rebuild a sketch from :meth:`to_dict` output."""
+        sketch = cls(width=doc["width"], depth=doc["depth"], seed=doc["seed"])
+        cells = np.asarray(doc["cells"], dtype=float)
+        if cells.shape != (sketch.depth, sketch.width):
+            raise ValueError("serialized cells do not match width/depth")
+        sketch._cells = cells
+        sketch._total = float(doc["total"])
+        return sketch
+
+
+class SpaceSavingPairs:
+    """Space-Saving heavy-hitter tracking specialized for object pairs.
+
+    At most ``capacity`` pairs live in the summary at once.  When a new
+    pair arrives at a full summary, the minimum-count entry is evicted
+    and the newcomer inherits its count (recorded as ``error`` — the
+    maximum possible overcount of the new entry).  Guarantees: every
+    pair whose true count exceeds ``total / capacity`` is tracked, and
+    ``count - error <= true count <= count`` for every tracked pair.
+
+    Eviction ties break on the pair's ``repr`` so runs are
+    deterministic regardless of hash randomization.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = int(capacity)
+        self._entries: dict[Pair, list[float]] = {}  # pair -> [count, error]
+        self._total = 0.0
+        self.max_tracked = 0
+        self.evictions = 0
+
+    def add(self, pair: Pair, count: float = 1.0) -> None:
+        """Fold one observation of ``pair`` into the summary."""
+        if count < 0:
+            raise ValueError("count must be nonnegative")
+        self._total += count
+        entry = self._entries.get(pair)
+        if entry is not None:
+            entry[0] += count
+        elif len(self._entries) < self.capacity:
+            self._entries[pair] = [count, 0.0]
+        else:
+            victim = min(self._entries, key=lambda p: (self._entries[p][0], repr(p)))
+            floor = self._entries.pop(victim)[0]
+            self._entries[pair] = [floor + count, floor]
+            self.evictions += 1
+        self.max_tracked = max(self.max_tracked, len(self._entries))
+
+    def count(self, pair: Pair) -> float:
+        """Tracked (over-)count of ``pair``; 0 when untracked."""
+        entry = self._entries.get(pair)
+        return float(entry[0]) if entry is not None else 0.0
+
+    def error(self, pair: Pair) -> float:
+        """Maximum overcount of ``pair``'s tracked count."""
+        entry = self._entries.get(pair)
+        return float(entry[1]) if entry is not None else 0.0
+
+    def items(self) -> list[tuple[Pair, float, float]]:
+        """Tracked ``(pair, count, error)`` rows, heaviest first.
+
+        Ordering is total (count descending, then pair repr) so output
+        is byte-stable across runs.
+        """
+        return sorted(
+            ((pair, float(c), float(e)) for pair, (c, e) in self._entries.items()),
+            key=lambda row: (-row[1], repr(row[0])),
+        )
+
+    def scale(self, factor: float) -> None:
+        """Multiply every count and error by ``factor`` (aging)."""
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError("scale factor must be in [0, 1]")
+        if factor == 0.0:
+            self._entries.clear()
+            self._total = 0.0
+            return
+        for entry in self._entries.values():
+            entry[0] *= factor
+            entry[1] *= factor
+        self._total *= factor
+
+    @property
+    def total(self) -> float:
+        """Total observation mass folded in (after any scaling)."""
+        return self._total
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def to_dict(self) -> dict:
+        """JSON-ready state (object ids must be JSON-serializable)."""
+        return {
+            "capacity": self.capacity,
+            "total": self._total,
+            "max_tracked": self.max_tracked,
+            "evictions": self.evictions,
+            "entries": [
+                [list(pair), c, e] for pair, c, e in self.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "SpaceSavingPairs":
+        """Rebuild a tracker from :meth:`to_dict` output.
+
+        JSON turns tuple pairs into lists; they come back as tuples.
+        """
+        tracker = cls(capacity=doc["capacity"])
+        for raw_pair, count, error in doc["entries"]:
+            tracker._entries[tuple(raw_pair)] = [float(count), float(error)]
+        if len(tracker._entries) > tracker.capacity:
+            raise ValueError("serialized entries exceed capacity")
+        tracker._total = float(doc["total"])
+        tracker.max_tracked = int(doc["max_tracked"])
+        tracker.evictions = int(doc["evictions"])
+        return tracker
+
+
+class SketchCorrelationEstimator:
+    """Memory-bounded :class:`~repro.core.correlation.PairEstimator`.
+
+    Drop-in replacement for the exact
+    :class:`~repro.core.correlation.CorrelationEstimator`: same modes,
+    same per-operation pair reduction, same ``correlations`` /
+    ``top_pairs`` surface — but state is a Count-Min sketch plus a
+    Space-Saving tracker, so memory stays O(width x depth + capacity)
+    no matter how many distinct pairs the stream contains.  Reported
+    counts are ``min(space-saving count, count-min estimate)``, the
+    tighter of the two overestimates.
+
+    Args:
+        mode: Pair-reduction mode (see
+            :attr:`CorrelationEstimator.MODES`).
+        sizes: Object sizes (required for the size-aware modes).
+        width: Count-Min row width.
+        depth: Count-Min rows.
+        heavy_hitters: Space-Saving capacity — the K of "top-K pairs".
+        seed: Hash seed; fixes every estimate for a given stream.
+    """
+
+    def __init__(
+        self,
+        mode: str = "cooccurrence",
+        sizes: Mapping[ObjectId, float] | None = None,
+        width: int = 1024,
+        depth: int = 4,
+        heavy_hitters: int = 256,
+        seed: int = 0,
+    ):
+        if mode not in CorrelationEstimator.MODES:
+            raise ValueError(
+                f"unknown mode {mode!r}; expected one of {CorrelationEstimator.MODES}"
+            )
+        if mode != "cooccurrence" and sizes is None:
+            raise ValueError(f"mode {mode!r} requires object sizes")
+        self.mode = mode
+        self.sizes = sizes
+        self.sketch = CountMinSketch(width=width, depth=depth, seed=seed)
+        self.heavy = SpaceSavingPairs(capacity=heavy_hitters)
+        self._total_ops = 0.0
+
+    # ------------------------------------------------------------------
+    # PairEstimator protocol
+    # ------------------------------------------------------------------
+    @property
+    def num_operations(self) -> int:
+        """Operations observed so far (discounted after :meth:`decay`)."""
+        return int(self._total_ops)
+
+    def observe(self, operation: Operation) -> None:
+        """Fold one operation into both summaries."""
+        self._total_ops += 1
+        for pair in operation_pairs(operation, self.mode, self.sizes):
+            self.sketch.add(pair)
+            self.heavy.add(pair)
+
+    def observe_all(self, trace: Iterable[Operation]) -> None:
+        """Fold every operation of ``trace`` into the estimate."""
+        for operation in trace:
+            self.observe(operation)
+
+    def decay(self, factor: float) -> None:
+        """Exponentially age both summaries and the operation total."""
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError("decay factor must be in [0, 1]")
+        self.sketch.scale(factor)
+        self.heavy.scale(factor)
+        self._total_ops *= factor
+
+    def estimate_count(self, pair: Pair) -> float:
+        """Best available (over-)count for one pair."""
+        tracked = self.heavy.count(pair)
+        cms = self.sketch.estimate(pair)
+        return min(tracked, cms) if tracked > 0 else cms
+
+    def correlations(self, min_support: int = 1) -> PairProbabilities:
+        """Probability estimates for the tracked heavy-hitter pairs.
+
+        Only pairs in the Space-Saving summary are reported — the
+        memory bound is the point — with each count tightened by the
+        Count-Min estimate before normalization.
+        """
+        if self._total_ops <= 0:
+            return {}
+        result: PairProbabilities = {}
+        for pair, count, _error in self.heavy.items():
+            tightened = min(count, self.sketch.estimate(pair))
+            if tightened >= min_support:
+                result[pair] = tightened / self._total_ops
+        return result
+
+    def top_pairs(self, k: int) -> list[tuple[Pair, float]]:
+        """The ``k`` most correlated tracked pairs, descending."""
+        probs = self.correlations()
+        return sorted(probs.items(), key=lambda item: (-item[1], repr(item[0])))[:k]
+
+    # ------------------------------------------------------------------
+    # Memory accounting and serialization
+    # ------------------------------------------------------------------
+    @property
+    def memory_cells(self) -> int:
+        """Bounded state size: sketch cells plus tracker capacity."""
+        return self.sketch.num_cells + self.heavy.capacity
+
+    def to_dict(self) -> dict:
+        """JSON-ready state; :meth:`from_dict` restores it exactly."""
+        return {
+            "mode": self.mode,
+            "sizes": (
+                None
+                if self.sizes is None
+                else {str(k): float(v) for k, v in sorted(self.sizes.items(), key=lambda kv: repr(kv[0]))}
+            ),
+            "total_operations": self._total_ops,
+            "sketch": self.sketch.to_dict(),
+            "heavy": self.heavy.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "SketchCorrelationEstimator":
+        """Rebuild an estimator from :meth:`to_dict` output.
+
+        Size keys come back as strings (JSON maps have string keys);
+        callers with non-string object ids should pass sizes afresh.
+        """
+        estimator = cls.__new__(cls)
+        estimator.mode = doc["mode"]
+        estimator.sizes = doc["sizes"]
+        estimator.sketch = CountMinSketch.from_dict(doc["sketch"])
+        estimator.heavy = SpaceSavingPairs.from_dict(doc["heavy"])
+        estimator._total_ops = float(doc["total_operations"])
+        return estimator

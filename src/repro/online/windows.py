@@ -1,0 +1,175 @@
+"""Windowing over timestamped operation streams.
+
+The online control loop consumes traffic over *time*: the stream is cut
+into tumbling (fixed-length, non-overlapping) periods, and at each
+period boundary the correlation estimate can be exponentially decayed
+so correlations that stop occurring age out instead of haunting the
+placement forever.
+
+Works directly over :class:`~repro.workloads.stream.TimedQuery`
+streams (a query's keywords are its operation) as well as over plain
+:class:`TimedOperation` records, so the same controller drives search
+workloads and generic multi-object operation traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Sequence
+
+from repro.core.correlation import PairEstimator
+from repro.workloads.stream import TimedQuery
+
+ObjectId = Hashable
+Operation = tuple[ObjectId, ...]
+
+
+@dataclass(frozen=True)
+class TimedOperation:
+    """A multi-object operation stamped with its arrival time."""
+
+    time_s: float
+    objects: Operation
+
+
+def as_timed_operation(item: "TimedQuery | TimedOperation") -> TimedOperation:
+    """Normalize a stream element to a :class:`TimedOperation`.
+
+    Accepts :class:`~repro.workloads.stream.TimedQuery` (the query's
+    keyword tuple becomes the operation) or :class:`TimedOperation`
+    (passed through).
+    """
+    if isinstance(item, TimedOperation):
+        return item
+    if isinstance(item, TimedQuery):
+        return TimedOperation(item.time_s, tuple(item.query.keywords))
+    raise TypeError(
+        f"expected TimedQuery or TimedOperation, got {type(item).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class StreamPeriod:
+    """One tumbling window of a stream.
+
+    Attributes:
+        index: Zero-based period number.
+        start_s: Inclusive period start.
+        end_s: Exclusive period end (``start_s + window_s``).
+        operations: The period's operations, in arrival order.  An
+            operation landing exactly on ``end_s`` belongs to the
+            *next* period.
+    """
+
+    index: int
+    start_s: float
+    end_s: float
+    operations: tuple[Operation, ...]
+
+    @property
+    def num_operations(self) -> int:
+        """Operations in the period."""
+        return len(self.operations)
+
+
+def tumbling_periods(
+    stream: Iterable["TimedQuery | TimedOperation"], window_s: float
+) -> Iterator[StreamPeriod]:
+    """Cut a timestamped stream into consecutive fixed-length periods.
+
+    Quiet periods in the middle of the stream are emitted empty (the
+    control loop still ticks); trailing empty periods are not.  The
+    stream is consumed in one pass, so generators work.
+
+    Args:
+        stream: Timestamped queries or operations in non-decreasing
+            time order.
+        window_s: Period length in seconds.
+
+    Raises:
+        ValueError: On a non-positive window or when a timestamp runs
+            backwards (the slicing would silently misfile operations).
+    """
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    index = 0
+    boundary = window_s
+    current: list[Operation] = []
+    last_time: float | None = None
+    empty = True
+    for item in stream:
+        timed = as_timed_operation(item)
+        if last_time is not None and timed.time_s < last_time:
+            raise ValueError(
+                "stream timestamps must be non-decreasing: got "
+                f"{timed.time_s:g}s after {last_time:g}s"
+            )
+        last_time = timed.time_s
+        empty = False
+        while timed.time_s >= boundary:
+            yield StreamPeriod(
+                index, boundary - window_s, boundary, tuple(current)
+            )
+            current = []
+            index += 1
+            boundary += window_s
+        current.append(timed.objects)
+    if not empty:
+        yield StreamPeriod(index, boundary - window_s, boundary, tuple(current))
+
+
+class DecayingEstimator:
+    """A :class:`PairEstimator` aged exponentially at period boundaries.
+
+    Wraps any estimator implementing the protocol; calling
+    :meth:`advance_period` multiplies all history by ``factor``, so an
+    observation's weight after ``p`` further periods is ``factor**p``
+    — a correlation that disappears from the stream halves out of the
+    estimate with half-life ``log(0.5) / log(factor)`` periods.
+
+    Args:
+        estimator: The wrapped estimator (exact or sketch).
+        factor: Per-period decay multiplier in ``(0, 1]``; 1 disables
+            aging (a pure tumbling accumulation).
+    """
+
+    def __init__(self, estimator: PairEstimator, factor: float = 1.0):
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("decay factor must be in (0, 1]")
+        self.estimator = estimator
+        self.factor = factor
+        self.periods_advanced = 0
+
+    def advance_period(self) -> None:
+        """Apply one period's worth of decay to the wrapped history."""
+        if self.factor < 1.0:
+            self.estimator.decay(self.factor)
+        self.periods_advanced += 1
+
+    # ------------------------------------------------------------------
+    # PairEstimator delegation
+    # ------------------------------------------------------------------
+    @property
+    def num_operations(self) -> int:
+        """Discounted operation count of the wrapped estimator."""
+        return self.estimator.num_operations
+
+    def observe(self, operation: Sequence[ObjectId]) -> None:
+        """Fold one operation into the wrapped estimator."""
+        self.estimator.observe(operation)
+
+    def observe_all(self, trace: Iterable[Sequence[ObjectId]]) -> None:
+        """Fold every operation of ``trace`` into the wrapped estimator."""
+        self.estimator.observe_all(trace)
+
+    def decay(self, factor: float) -> None:
+        """Explicit extra decay (beyond the per-period factor)."""
+        self.estimator.decay(factor)
+
+    def correlations(self, min_support: int = 1):
+        """Current pair-probability estimates."""
+        return self.estimator.correlations(min_support)
+
+    def top_pairs(self, k: int):
+        """The ``k`` most correlated pairs, descending."""
+        return self.estimator.top_pairs(k)

@@ -88,6 +88,11 @@ def split_stream_by_window(
 
     Empty trailing windows are not produced; empty windows in the
     middle of the stream are (the adaptive placer sees quiet periods).
+
+    Raises:
+        ValueError: On a non-positive window, or when a timestamp runs
+            backwards — out-of-order streams would be silently misfiled
+            into the wrong windows.
     """
     if window_s <= 0:
         raise ValueError("window_s must be positive")
@@ -95,7 +100,14 @@ def split_stream_by_window(
         return
     current: list[TimedQuery] = []
     boundary = window_s
+    last_time: float | None = None
     for timed in stream:
+        if last_time is not None and timed.time_s < last_time:
+            raise ValueError(
+                "stream timestamps must be non-decreasing: got "
+                f"{timed.time_s:g}s after {last_time:g}s"
+            )
+        last_time = timed.time_s
         while timed.time_s >= boundary:
             yield current
             current = []

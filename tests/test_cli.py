@@ -277,3 +277,31 @@ class TestAnalyzeCommand:
     def test_max_queries_limits(self, query_log_file, capsys):
         main(["analyze", str(query_log_file), "--max-queries", "10"])
         assert "queries: 10" in capsys.readouterr().out
+
+
+class TestOnlineCommand:
+    ARGS = [
+        "online",
+        "--vocabulary", "120",
+        "--topics", "15",
+        "--duration", "1200",
+        "--window", "300",
+        "--qps", "0.5",
+        "--seed", "3",
+    ]
+
+    def test_runs_and_reports(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "online run:" in out
+        assert "bounded" in out
+
+    def test_report_byte_identical_across_runs(self, tmp_path, capsys):
+        first = tmp_path / "one.json"
+        second = tmp_path / "two.json"
+        main(self.ARGS + ["--out", str(first)])
+        main(self.ARGS + ["--out", str(second)])
+        assert first.read_bytes() == second.read_bytes()
+        doc = json.loads(first.read_text())
+        assert doc["schema"] == "repro.online.report/v1"
+        assert doc["total_operations"] > 0

@@ -121,3 +121,54 @@ class TestValidation:
             placer._problem_for(placer._reference)
         )
         assert np.array_equal(placement.assignment, expected.assignment)
+
+
+class TestEstimatorBackend:
+    def test_sketch_backend_drives_the_loop(self):
+        from repro.online import SketchCorrelationEstimator
+
+        placer = AdaptivePlacer(
+            SIZES,
+            num_nodes=4,
+            drift_threshold=0.3,
+            budget_fraction=1.0,
+            correlation_mode="cooccurrence",
+            top_pairs=10,
+            estimator=lambda: SketchCorrelationEstimator(
+                width=256, depth=4, heavy_hitters=16, seed=0
+            ),
+        )
+        placer.bootstrap(make_trace(PERIOD1_PAIRS))
+        for a, b in PERIOD1_PAIRS:
+            assert placer.placement.node_of(a) == placer.placement.node_of(b)
+        decision = placer.observe_period(make_trace(PERIOD1_PAIRS))
+        assert not decision.replanned
+
+    def test_sketch_backend_matches_exact_on_sparse_trace(self):
+        from repro.online import SketchCorrelationEstimator
+
+        trace = make_trace(PERIOD1_PAIRS)
+        exact = AdaptivePlacer(SIZES, 4, correlation_mode="cooccurrence")
+        sketched = AdaptivePlacer(
+            SIZES,
+            4,
+            correlation_mode="cooccurrence",
+            estimator=lambda: SketchCorrelationEstimator(
+                width=1024, depth=4, heavy_hitters=64, seed=0
+            ),
+        )
+        assert sketched._estimate(trace) == exact._estimate(trace)
+
+    def test_default_backend_unchanged(self):
+        placer = AdaptivePlacer(SIZES, 4, correlation_mode="cooccurrence")
+        assert placer.estimator_factory is None
+        from repro.core.correlation import cooccurrence_correlations
+
+        trace = make_trace(PERIOD1_PAIRS)
+        assert placer._estimate(trace) == cooccurrence_correlations(trace)
+
+    def test_generator_trace_accepted(self):
+        placer = AdaptivePlacer(SIZES, 4, correlation_mode="cooccurrence")
+        placer.bootstrap(op for op in make_trace(PERIOD1_PAIRS))
+        decision = placer.observe_period(op for op in make_trace(PERIOD1_PAIRS))
+        assert not decision.replanned

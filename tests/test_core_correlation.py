@@ -5,6 +5,7 @@ import pytest
 from repro.core.correlation import (
     CorrelationEstimator,
     cooccurrence_correlations,
+    operation_pairs,
     two_smallest_correlations,
     union_largest_correlations,
 )
@@ -121,3 +122,78 @@ class TestEstimator:
     def test_unknown_mode_rejected(self):
         with pytest.raises(ValueError, match="unknown mode"):
             CorrelationEstimator(mode="bogus")
+
+
+class TestSinglePassTraces:
+    """The trace estimators must consume one-shot iterables correctly."""
+
+    def test_cooccurrence_accepts_generator(self):
+        trace = [("a", "b"), ("a", "b", "c"), ("b", "c")]
+        from_list = cooccurrence_correlations(trace)
+        from_generator = cooccurrence_correlations(op for op in trace)
+        assert from_generator == from_list
+
+    def test_two_smallest_accepts_generator(self):
+        sizes = {"a": 1.0, "b": 2.0, "c": 3.0}
+        trace = [("a", "b", "c"), ("b", "c")]
+        assert two_smallest_correlations(
+            (op for op in trace), sizes
+        ) == two_smallest_correlations(trace, sizes)
+
+    def test_union_largest_accepts_generator(self):
+        sizes = {"a": 1.0, "b": 2.0, "c": 3.0}
+        trace = [("a", "b", "c"), ("a", "c")]
+        assert union_largest_correlations(
+            (op for op in trace), sizes
+        ) == union_largest_correlations(trace, sizes)
+
+
+class TestOperationPairs:
+    def test_cooccurrence_all_pairs(self):
+        pairs = operation_pairs(("b", "a", "c"))
+        assert pairs == [("a", "b"), ("a", "c"), ("b", "c")]
+
+    def test_two_smallest_single_pair(self):
+        sizes = {"a": 3.0, "b": 1.0, "c": 2.0}
+        assert operation_pairs(("a", "b", "c"), "two_smallest", sizes) == [("b", "c")]
+
+    def test_union_largest_star(self):
+        sizes = {"a": 3.0, "b": 1.0, "c": 2.0}
+        pairs = operation_pairs(("a", "b", "c"), "union_largest", sizes)
+        assert sorted(pairs) == [("a", "b"), ("a", "c")]
+
+    def test_size_modes_require_sizes(self):
+        with pytest.raises(ValueError, match="requires object sizes"):
+            operation_pairs(("a", "b"), "two_smallest")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            operation_pairs(("a", "b"), "bogus", {"a": 1.0})
+
+
+class TestDecay:
+    def test_probabilities_survive_support_shrinks(self):
+        est = CorrelationEstimator()
+        est.observe_all([("a", "b")] * 4)
+        est.decay(0.5)
+        assert est.correlations()[("a", "b")] == 1.0
+        assert est.num_operations == 2
+        assert est.correlations(min_support=3) == {}
+
+    def test_decay_zero_forgets(self):
+        est = CorrelationEstimator()
+        est.observe(("a", "b"))
+        est.decay(0.0)
+        assert est.correlations() == {}
+        assert est.num_operations == 0
+
+    def test_decay_one_is_noop(self):
+        est = CorrelationEstimator()
+        est.observe(("a", "b"))
+        before = est.correlations()
+        est.decay(1.0)
+        assert est.correlations() == before
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError, match="decay factor"):
+            CorrelationEstimator().decay(1.5)

@@ -1,0 +1,480 @@
+"""Streaming correlation mining and the online control loop."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import CorrelationEstimator, PairEstimator
+from repro.core.placement import Placement
+from repro.core.problem import PlacementProblem
+from repro.core.strategies import PlanConfig, available_planners, plan
+from repro.online import (
+    CountMinSketch,
+    DecayingEstimator,
+    DriftDetector,
+    DriftThresholds,
+    OnlineConfig,
+    OnlinePlanner,
+    SketchCorrelationEstimator,
+    SpaceSavingPairs,
+    TimedOperation,
+    as_timed_operation,
+    heavy_hitter_plan,
+    pair_churn,
+    tumbling_periods,
+)
+
+
+class TestCountMinSketch:
+    def test_never_undercounts(self):
+        sketch = CountMinSketch(width=16, depth=3, seed=1)
+        truth = {}
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            key = f"k{int(rng.integers(40))}"
+            truth[key] = truth.get(key, 0) + 1
+            sketch.add(key)
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+
+    def test_exact_when_sparse(self):
+        sketch = CountMinSketch(width=1024, depth=4, seed=0)
+        sketch.add("a", 3.0)
+        sketch.add("b", 2.0)
+        assert sketch.estimate("a") == 3.0
+        assert sketch.estimate("b") == 2.0
+        assert sketch.total == 5.0
+
+    def test_deterministic_across_instances(self):
+        a = CountMinSketch(width=64, depth=4, seed=7)
+        b = CountMinSketch(width=64, depth=4, seed=7)
+        for key in ("x", ("p", "q"), 42):
+            assert a._indices(key) == b._indices(key)
+
+    def test_seed_changes_hashing(self):
+        a = CountMinSketch(width=4096, depth=4, seed=0)
+        b = CountMinSketch(width=4096, depth=4, seed=1)
+        assert a._indices("x") != b._indices("x")
+
+    def test_scale_and_bounds(self):
+        sketch = CountMinSketch(width=32, depth=2, seed=0)
+        sketch.add("a", 4.0)
+        sketch.scale(0.5)
+        assert sketch.estimate("a") == 2.0
+        assert sketch.total == 2.0
+        assert sketch.num_cells == 64
+        assert 0 < sketch.epsilon < 1
+        assert 0 < sketch.delta < 1
+
+    def test_merge(self):
+        a = CountMinSketch(width=32, depth=2, seed=3)
+        b = CountMinSketch(width=32, depth=2, seed=3)
+        a.add("x", 2.0)
+        b.add("x", 5.0)
+        a.merge(b)
+        assert a.estimate("x") == 7.0
+
+    def test_merge_mismatch_raises(self):
+        a = CountMinSketch(width=32, depth=2, seed=0)
+        b = CountMinSketch(width=32, depth=2, seed=1)
+        with pytest.raises(ValueError, match="identical shape and seed"):
+            a.merge(b)
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            CountMinSketch().add("a", -1.0)
+
+    def test_round_trip(self):
+        sketch = CountMinSketch(width=8, depth=2, seed=5)
+        sketch.add(("a", "b"), 3.0)
+        restored = CountMinSketch.from_dict(
+            json.loads(json.dumps(sketch.to_dict()))
+        )
+        assert restored.estimate(("a", "b")) == sketch.estimate(("a", "b"))
+        assert restored.total == sketch.total
+
+
+class TestSpaceSavingPairs:
+    def test_exact_below_capacity(self):
+        tracker = SpaceSavingPairs(capacity=8)
+        for _ in range(3):
+            tracker.add(("a", "b"))
+        tracker.add(("c", "d"))
+        assert tracker.count(("a", "b")) == 3.0
+        assert tracker.error(("a", "b")) == 0.0
+        assert tracker.count(("x", "y")) == 0.0
+
+    def test_memory_bounded(self):
+        tracker = SpaceSavingPairs(capacity=4)
+        for i in range(100):
+            tracker.add((f"a{i}", f"b{i}"))
+        assert len(tracker) <= 4
+        assert tracker.max_tracked <= 4
+        assert tracker.evictions == 96
+
+    def test_heavy_hitter_guarantee(self):
+        # A pair with true count > total/capacity must be tracked, and
+        # count - error <= true <= count.
+        tracker = SpaceSavingPairs(capacity=4)
+        rng = np.random.default_rng(1)
+        true = {}
+        for _ in range(400):
+            if rng.random() < 0.5:
+                pair = ("hot", "pair")
+            else:
+                i = int(rng.integers(50))
+                pair = (f"c{i}", f"d{i}")
+            true[pair] = true.get(pair, 0) + 1
+            tracker.add(pair)
+        assert true[("hot", "pair")] > tracker.total / tracker.capacity
+        count = tracker.count(("hot", "pair"))
+        error = tracker.error(("hot", "pair"))
+        assert count >= true[("hot", "pair")] >= count - error
+
+    def test_items_order_deterministic(self):
+        tracker = SpaceSavingPairs(capacity=8)
+        tracker.add(("b", "c"))
+        tracker.add(("a", "b"))
+        tracker.add(("a", "b"))
+        rows = tracker.items()
+        assert rows[0][0] == ("a", "b")
+        assert rows[1][0] == ("b", "c")
+
+    def test_scale_zero_clears(self):
+        tracker = SpaceSavingPairs(capacity=4)
+        tracker.add(("a", "b"))
+        tracker.scale(0.0)
+        assert len(tracker) == 0
+        assert tracker.total == 0.0
+
+    def test_round_trip(self):
+        tracker = SpaceSavingPairs(capacity=3)
+        for i in range(10):
+            tracker.add((f"a{i % 4}", f"b{i % 4}"))
+        restored = SpaceSavingPairs.from_dict(
+            json.loads(json.dumps(tracker.to_dict()))
+        )
+        assert restored.items() == tracker.items()
+        assert restored.total == tracker.total
+        assert restored.evictions == tracker.evictions
+
+
+class TestSketchCorrelationEstimator:
+    def test_satisfies_protocol(self):
+        assert isinstance(SketchCorrelationEstimator(), PairEstimator)
+        assert isinstance(CorrelationEstimator(), PairEstimator)
+
+    def test_matches_exact_on_sparse_stream(self):
+        trace = [("a", "b"), ("a", "b", "c"), ("b", "c"), ("a", "b")]
+        exact = CorrelationEstimator()
+        sketched = SketchCorrelationEstimator(width=1024, depth=4)
+        exact.observe_all(trace)
+        sketched.observe_all(trace)
+        assert sketched.correlations() == exact.correlations()
+        assert sketched.top_pairs(2) == exact.top_pairs(2)
+
+    def test_size_aware_mode(self):
+        sizes = {"a": 1.0, "b": 2.0, "c": 3.0}
+        sketched = SketchCorrelationEstimator(mode="two_smallest", sizes=sizes)
+        sketched.observe(("a", "b", "c"))
+        assert sketched.correlations() == {("a", "b"): 1.0}
+
+    def test_mode_requires_sizes(self):
+        with pytest.raises(ValueError, match="requires object sizes"):
+            SketchCorrelationEstimator(mode="two_smallest")
+
+    def test_memory_cells(self):
+        est = SketchCorrelationEstimator(width=128, depth=3, heavy_hitters=16)
+        for i in range(1000):
+            est.observe((f"x{i}", f"y{i}"))
+        assert est.memory_cells == 128 * 3 + 16
+        assert len(est.heavy) <= 16
+
+    def test_decay(self):
+        est = SketchCorrelationEstimator(width=64, depth=2)
+        est.observe(("a", "b"))
+        est.observe(("a", "b"))
+        est.decay(0.5)
+        # Probabilities survive decay; support shrinks below min_support.
+        assert est.correlations()[("a", "b")] == pytest.approx(1.0)
+        assert est.correlations(min_support=2) == {}
+
+    def test_round_trip(self):
+        est = SketchCorrelationEstimator(width=32, depth=2, heavy_hitters=4)
+        est.observe_all([("a", "b"), ("b", "c"), ("a", "b")])
+        restored = SketchCorrelationEstimator.from_dict(
+            json.loads(json.dumps(est.to_dict()))
+        )
+        assert restored.correlations() == est.correlations()
+        assert restored.num_operations == est.num_operations
+
+
+class TestWindows:
+    def test_tumbling_slicing(self):
+        stream = [
+            TimedOperation(0.0, ("a", "b")),
+            TimedOperation(5.0, ("b", "c")),
+            TimedOperation(10.0, ("c", "d")),  # exactly on the boundary
+            TimedOperation(25.0, ("d", "e")),
+        ]
+        periods = list(tumbling_periods(stream, 10.0))
+        assert [p.num_operations for p in periods] == [2, 1, 1]
+        assert periods[1].operations == (("c", "d"),)
+        assert periods[0].start_s == 0.0 and periods[0].end_s == 10.0
+
+    def test_empty_middle_periods_emitted(self):
+        stream = [TimedOperation(1.0, ("a", "b")), TimedOperation(35.0, ("c", "d"))]
+        periods = list(tumbling_periods(stream, 10.0))
+        assert [p.num_operations for p in periods] == [1, 0, 0, 1]
+
+    def test_non_monotonic_raises(self):
+        stream = [TimedOperation(5.0, ("a", "b")), TimedOperation(4.0, ("c", "d"))]
+        with pytest.raises(ValueError, match="non-decreasing"):
+            list(tumbling_periods(stream, 10.0))
+
+    def test_empty_stream_no_periods(self):
+        assert list(tumbling_periods([], 10.0)) == []
+
+    def test_accepts_timed_queries(self):
+        from repro.search.query import Query
+        from repro.workloads.stream import TimedQuery
+
+        stream = [TimedQuery(1.0, Query(("a", "b")))]
+        periods = list(tumbling_periods(stream, 10.0))
+        assert periods[0].operations == (("a", "b"),)
+
+    def test_as_timed_operation_rejects_junk(self):
+        with pytest.raises(TypeError, match="expected TimedQuery or TimedOperation"):
+            as_timed_operation(("a", "b"))
+
+    def test_decaying_estimator(self):
+        inner = CorrelationEstimator()
+        window = DecayingEstimator(inner, factor=0.5)
+        window.observe(("a", "b"))
+        window.advance_period()
+        window.observe(("a", "b"))
+        assert window.periods_advanced == 1
+        # Old observation weighs 0.5, fresh one 1.0.
+        assert inner._counts[("a", "b")] == pytest.approx(1.5)
+        assert window.correlations()[("a", "b")] == pytest.approx(1.0)
+
+    def test_decaying_estimator_validates_factor(self):
+        with pytest.raises(ValueError, match="decay factor"):
+            DecayingEstimator(CorrelationEstimator(), factor=0.0)
+
+
+class TestDrift:
+    def test_pair_churn(self):
+        assert pair_churn([], []) == 0.0
+        assert pair_churn([("a", "b")], [("a", "b")]) == 0.0
+        assert pair_churn([("a", "b")], [("c", "d")]) == 1.0
+        assert pair_churn(
+            [("a", "b"), ("c", "d")], [("a", "b"), ("e", "f")]
+        ) == pytest.approx(2 / 3)
+
+    def test_unjudged_below_min_operations(self):
+        detector = DriftDetector(DriftThresholds(min_operations=50))
+        detector.rebase({("a", "b"): 0.5}, 1.0)
+        decision = detector.assess({("c", "d"): 0.5}, 9.0, period_operations=10)
+        assert not decision.judged
+        assert not decision.replan
+
+    def test_churn_trigger(self):
+        detector = DriftDetector(DriftThresholds(churn=0.4, min_operations=0))
+        detector.rebase({("a", "b"): 0.5}, 1.0)
+        decision = detector.assess({("c", "d"): 0.5}, 1.0, period_operations=100)
+        assert decision.replan
+        assert decision.reasons == ("churn",)
+        assert decision.churn == 1.0
+
+    def test_inflation_trigger(self):
+        detector = DriftDetector(
+            DriftThresholds(churn=1.0, inflation=1.5, min_operations=0)
+        )
+        detector.rebase({("a", "b"): 0.5}, 1.0)
+        decision = detector.assess({("a", "b"): 0.5}, 2.0, period_operations=100)
+        assert decision.replan
+        assert decision.reasons == ("inflation",)
+        assert decision.inflation == pytest.approx(2.0)
+
+    def test_stable_no_trigger(self):
+        detector = DriftDetector(DriftThresholds(min_operations=0))
+        detector.rebase({("a", "b"): 0.5}, 1.0)
+        decision = detector.assess({("a", "b"): 0.5}, 1.0, period_operations=100)
+        assert not decision.replan
+        assert decision.reasons == ()
+
+    def test_decision_to_dict_handles_zero_reference(self):
+        detector = DriftDetector(DriftThresholds(min_operations=0))
+        detector.rebase({}, 0.0)
+        decision = detector.assess({("a", "b"): 0.5}, 1.0, period_operations=100)
+        doc = decision.to_dict()
+        assert doc["inflation"] is None
+        json.dumps(doc)  # JSON-serializable despite the zero reference
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            DriftThresholds(churn=1.5)
+        with pytest.raises(ValueError):
+            DriftThresholds(inflation=0.9)
+
+
+# ----------------------------------------------------------------------
+# The acceptance scenario: a seeded stream whose correlation structure
+# shifts mid-stream.
+# ----------------------------------------------------------------------
+SIZES = {f"o{i}": 1.0 for i in range(12)}
+PRE_PAIRS = [
+    ("o0", "o1"), ("o2", "o3"), ("o4", "o5"),
+    ("o6", "o7"), ("o8", "o9"), ("o10", "o11"),
+]
+POST_PAIRS = [
+    ("o0", "o2"), ("o1", "o3"), ("o4", "o6"),
+    ("o5", "o7"), ("o8", "o10"), ("o9", "o11"),
+]
+WINDOW_S = 60.0
+OPS_PER_PERIOD = 60
+SHIFT_PERIOD = 3
+NUM_PERIODS = 8
+
+
+def shifting_stream(seed=7):
+    rng = np.random.default_rng(seed)
+    stream = []
+    for period in range(NUM_PERIODS):
+        pairs = PRE_PAIRS if period < SHIFT_PERIOD else POST_PAIRS
+        for i in range(OPS_PER_PERIOD):
+            time_s = period * WINDOW_S + i * WINDOW_S / OPS_PER_PERIOD
+            pair = pairs[int(rng.integers(len(pairs)))]
+            stream.append(TimedOperation(time_s, pair))
+    return stream
+
+
+def online_config():
+    return OnlineConfig(
+        num_nodes=4,
+        window_s=WINDOW_S,
+        sketch_width=256,
+        sketch_depth=4,
+        heavy_hitters=8,
+        decay=0.5,
+        thresholds=DriftThresholds(churn=0.3, top_k=8, min_operations=20),
+        budget_fraction=1.0,
+        planning=PlanConfig(seed=0),
+    )
+
+
+class TestOnlinePlanner:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return OnlinePlanner(SIZES, online_config()).run(shifting_stream())
+
+    def test_bootstraps_then_detects_drift(self, report):
+        assert report.periods[0].action == "bootstrap"
+        # The shift period must be judged drifting and replanned.
+        shift = report.periods[SHIFT_PERIOD]
+        assert shift.action == "replan"
+        assert shift.drift.replan
+        assert shift.drift.churn > 0.3
+        assert report.replans >= 1
+
+    def test_replans_respect_budget(self, report):
+        for period in report.periods:
+            if period.action == "replan":
+                assert period.budget_bytes is not None
+                assert period.bytes_moved <= period.budget_bytes + 1e-9
+
+    def test_final_cost_matches_offline_plan(self, report):
+        # Offline reference: exact correlations of the post-shift trace.
+        post_trace = [
+            op.objects for op in shifting_stream()
+            if op.time_s >= SHIFT_PERIOD * WINDOW_S
+        ]
+        exact = CorrelationEstimator()
+        exact.observe_all(post_trace)
+        problem = PlacementProblem.build(SIZES, 4, exact.correlations())
+        offline = plan(problem, "lprr", PlanConfig(seed=0))
+        online_placement = Placement.from_mapping(
+            problem, {obj: report.final_placement[obj] for obj in problem.object_ids}
+        )
+        online_cost = online_placement.communication_cost()
+        assert online_cost <= 1.10 * offline.cost + 1e-9
+
+    def test_memory_is_bounded(self, report):
+        config = online_config()
+        assert report.memory_cells == (
+            config.sketch_width * config.sketch_depth + config.heavy_hitters
+        )
+        planner = OnlinePlanner(SIZES, config)
+        planner.run(shifting_stream())
+        assert planner.estimator.heavy.max_tracked <= config.heavy_hitters
+
+    def test_reports_byte_identical(self, report):
+        again = OnlinePlanner(SIZES, online_config()).run(shifting_stream())
+        assert again.to_json() == report.to_json()
+
+    def test_report_json_schema(self, report):
+        doc = json.loads(report.to_json())
+        assert doc["schema"] == "repro.online.report/v1"
+        assert doc["replans"] == report.replans
+        assert doc["total_operations"] == NUM_PERIODS * OPS_PER_PERIOD
+        assert len(doc["periods"]) == NUM_PERIODS
+        assert set(doc["final_placement"]) == set(SIZES)
+
+    def test_render_mentions_replans(self, report):
+        text = report.render()
+        assert "replan" in text
+        assert "bounded" in text
+
+    def test_placement_mapping_before_bootstrap_raises(self):
+        planner = OnlinePlanner(SIZES, online_config())
+        with pytest.raises(RuntimeError, match="not bootstrapped"):
+            planner.placement_mapping
+
+    def test_exact_estimator_backend(self):
+        # The controller accepts any PairEstimator; the exact one gives
+        # an unbounded-memory but drift-equivalent run.
+        planner = OnlinePlanner(
+            SIZES, online_config(), estimator=CorrelationEstimator()
+        )
+        report = planner.run(shifting_stream())
+        assert report.periods[SHIFT_PERIOD].action == "replan"
+        assert report.memory_cells == 0  # exact backend reports no bound
+
+
+class TestOnlinePlannerRegistry:
+    def test_online_planner_registered(self):
+        assert "online" in available_planners()
+
+    def test_heavy_hitter_plan_scopes_to_paired_objects(self):
+        sizes = {f"o{i}": 1.0 for i in range(8)}
+        correlations = {("o0", "o1"): 0.5, ("o2", "o3"): 0.25}
+        problem = PlacementProblem.build(sizes, 3, correlations)
+        result = heavy_hitter_plan(problem, config=PlanConfig(seed=0))
+        assert result.planner == "online"
+        assert result.diagnostics["heavy_objects"] == 4
+        assert result.placement.assignment.shape == (8,)
+
+    def test_registry_dispatch(self):
+        sizes = {"a": 1.0, "b": 1.0}
+        problem = PlacementProblem.build(sizes, 2, {("a", "b"): 1.0})
+        result = plan(problem, "online", PlanConfig(seed=0))
+        assert result.planner == "online"
+        assert result.cost == 0.0
+
+
+class TestOnlineConfigValidation:
+    def test_bad_values_raise(self):
+        with pytest.raises(ValueError):
+            OnlineConfig(num_nodes=0)
+        with pytest.raises(ValueError):
+            OnlineConfig(num_nodes=2, window_s=0)
+        with pytest.raises(ValueError):
+            OnlineConfig(num_nodes=2, decay=0.0)
+        with pytest.raises(ValueError):
+            OnlineConfig(num_nodes=2, budget_fraction=-0.1)
+
+    def test_empty_sizes_raise(self):
+        with pytest.raises(ValueError, match="at least one object"):
+            OnlinePlanner({}, OnlineConfig(num_nodes=2))

@@ -104,3 +104,26 @@ class TestSplitStream:
     def test_invalid_window(self):
         with pytest.raises(ValueError):
             list(split_stream_by_window([TimedQuery(0.0, None)], 0.0))
+
+
+class TestSplitStreamEdgeCases:
+    def test_boundary_exact_query_goes_to_next_window(self):
+        stream = [TimedQuery(0.0, None), TimedQuery(10.0, None)]
+        windows = list(split_stream_by_window(stream, window_s=10.0))
+        assert [len(w) for w in windows] == [1, 1]
+        assert windows[1][0].time_s == 10.0
+
+    def test_empty_window_run_preserves_indices(self):
+        stream = [TimedQuery(5.0, None), TimedQuery(45.0, None)]
+        windows = list(split_stream_by_window(stream, window_s=10.0))
+        assert [len(w) for w in windows] == [1, 0, 0, 0, 1]
+
+    def test_non_monotonic_timestamps_raise(self):
+        stream = [TimedQuery(12.0, None), TimedQuery(3.0, None)]
+        with pytest.raises(ValueError, match="non-decreasing"):
+            list(split_stream_by_window(stream, window_s=10.0))
+
+    def test_equal_timestamps_allowed(self):
+        stream = [TimedQuery(4.0, None), TimedQuery(4.0, None)]
+        windows = list(split_stream_by_window(stream, window_s=10.0))
+        assert [len(w) for w in windows] == [2]
