@@ -18,6 +18,10 @@ continuously-running daemon over timestamped operation streams:
 4. **Migrate** — the new plan is applied through
    :func:`~repro.core.migration.select_migrations` under a per-period
    migration-byte budget, so convergence never floods the network.
+   When a budget truncates the plan, the unapplied remainder is
+   carried into following stable periods (one budget's worth each, as
+   ``"migrate"`` decisions) until the target is reached or no
+   remaining move is profitable under the fresh estimate.
 
 Every decision is recorded in a :class:`PeriodDecision` and surfaced
 in an :class:`OnlineReport` whose JSON is a pure function of the seed
@@ -33,6 +37,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Mapping
+
+import numpy as np
 
 from repro import obs
 from repro.core.correlation import PairEstimator
@@ -153,13 +159,16 @@ class PeriodDecision:
         operations: Operations ingested this period.
         tracked_pairs: Pairs in the estimate after ingestion.
         action: ``"observe"`` (no placement change), ``"bootstrap"``
-            (initial plan), or ``"replan"`` (drift-triggered).
+            (initial plan), ``"replan"`` (drift-triggered), or
+            ``"migrate"`` (resuming a budget-truncated migration
+            during a stable period).
         drift: The drift verdict (None before bootstrap).
         planner: Delegate planner that produced the plan (bootstrap /
             replan periods only).
         moves: Objects migrated this period.
         bytes_moved: Migration traffic this period.
-        budget_bytes: The period's migration budget (replans only).
+        budget_bytes: The period's migration budget (replan / migrate
+            periods only).
         cost_estimate: Placement cost under the period's estimate,
             after any migration.
     """
@@ -238,7 +247,11 @@ class OnlineReport:
     @property
     def total_bytes_moved(self) -> float:
         """Migration traffic across the run (bootstrap excluded)."""
-        return sum(p.bytes_moved for p in self.periods if p.action == "replan")
+        return sum(
+            p.bytes_moved
+            for p in self.periods
+            if p.action in ("replan", "migrate")
+        )
 
     def to_dict(self) -> dict:
         """JSON-ready form."""
@@ -288,8 +301,11 @@ class OnlinePlanner:
 
     Args:
         sizes: Object id -> size; the placement universe is fixed for
-            the run (objects outside it are ignored by the size-aware
-            modes and placed by hashing otherwise).
+            the run.  Objects outside it are dropped from incoming
+            operations before estimation, and correlations referencing
+            them (e.g. from a pre-loaded custom estimator) never reach
+            the placement problem — out-of-universe traffic is
+            ignored, not fatal.
         config: The control-loop configuration.
         estimator: Optional estimator backend implementing
             :class:`~repro.core.correlation.PairEstimator`; defaults
@@ -331,6 +347,7 @@ class OnlinePlanner:
         self._window = DecayingEstimator(estimator, factor=config.decay)
         self._detector = DriftDetector(config.thresholds)
         self._assignment: dict[ObjectId, int] | None = None
+        self._pending_target: dict[ObjectId, int] | None = None
         self._total_size = float(sum(self.sizes.values()))
 
     # ------------------------------------------------------------------
@@ -351,6 +368,20 @@ class OnlinePlanner:
     def memory_cells(self) -> int:
         """Bounded estimator state, when the backend reports it (else 0)."""
         return int(getattr(self.estimator, "memory_cells", 0))
+
+    def _in_universe(self, correlations: Mapping) -> dict:
+        """Drop correlations referencing objects outside ``sizes``.
+
+        The default estimator never produces such pairs (operations
+        are filtered before observation), but a custom backend may
+        arrive pre-loaded with them — they must not reach
+        :meth:`PlacementProblem.build`, which rejects unknown objects.
+        """
+        return {
+            pair: r
+            for pair, r in correlations.items()
+            if pair[0] in self.sizes and pair[1] in self.sizes
+        }
 
     def _problem(self, correlations: Mapping) -> PlacementProblem:
         return PlacementProblem.build(
@@ -409,12 +440,19 @@ class OnlinePlanner:
             "online.period", index=period.index, operations=period.num_operations
         ) as span:
             for operation in period.operations:
-                self._window.observe(operation)
+                # Out-of-universe objects cannot be placed; drop them
+                # here so they neither crash problem construction nor
+                # waste heavy-hitter capacity.
+                self._window.observe(
+                    tuple(obj for obj in operation if obj in self.sizes)
+                )
             obs.counter("online.periods").inc()
             obs.counter("online.operations").inc(period.num_operations)
             obs.gauge("online.sketch_cells").set(self.memory_cells)
 
-            correlations = self._window.correlations(config.min_support)
+            correlations = self._in_universe(
+                self._window.correlations(config.min_support)
+            )
             if self._assignment is None:
                 decision = self._maybe_bootstrap(period, correlations)
             else:
@@ -475,6 +513,8 @@ class OnlinePlanner:
         # An empty estimate can register maximal churn, but there is
         # nothing to plan toward — stay put until pairs reappear.
         if not drift.replan or not correlations:
+            if self._pending_target is not None and correlations:
+                return self._continue_migration(period, problem, current, drift)
             return PeriodDecision(
                 period=period.index,
                 start_s=period.start_s,
@@ -509,6 +549,16 @@ class OnlinePlanner:
                 obj: int(node)
                 for obj, node in zip(problem.object_ids, applied.assignment)
             }
+            # A truncated migration leaves profitable moves on the
+            # table; remember the full target so stable periods keep
+            # converging toward it, one budget's worth at a time.
+            if np.array_equal(applied.assignment, target.assignment):
+                self._pending_target = None
+            else:
+                self._pending_target = {
+                    obj: int(target_assignment[local_i])
+                    for local_i, obj in enumerate(problem.object_ids)
+                }
             cost_after = applied.communication_cost()
             self._detector.rebase(correlations, cost_after)
             obs.counter("online.replans").inc()
@@ -524,6 +574,66 @@ class OnlinePlanner:
             action="replan",
             drift=drift,
             planner=result.diagnostics.get("delegate", result.planner),
+            moves=migration.num_moves,
+            bytes_moved=migration.bytes_moved,
+            budget_bytes=budget,
+            cost_estimate=cost_after,
+        )
+
+    def _continue_migration(
+        self,
+        period: StreamPeriod,
+        problem: PlacementProblem,
+        current: Placement,
+        drift: DriftDecision,
+    ) -> PeriodDecision:
+        """Resume a budget-truncated migration during a stable period.
+
+        Spends this period's budget on the most profitable remaining
+        moves toward the pending target (re-ranked under the fresh
+        estimate).  If no remaining move is both affordable and
+        profitable, the stale target is abandoned rather than chased.
+        """
+        assert self._pending_target is not None
+        config = self.config
+        target = Placement.from_mapping(
+            problem,
+            {obj: self._pending_target[obj] for obj in problem.object_ids},
+        )
+        budget = config.budget_fraction * self._total_size
+        migration = select_migrations(current, target, budget_bytes=budget)
+        if migration.num_moves == 0:
+            self._pending_target = None
+            return PeriodDecision(
+                period=period.index,
+                start_s=period.start_s,
+                end_s=period.end_s,
+                operations=period.num_operations,
+                tracked_pairs=problem.num_pairs,
+                action="observe",
+                drift=drift,
+                cost_estimate=current.communication_cost(),
+            )
+        with obs.span("online.migrate", period=period.index) as span:
+            applied = migration.apply(current)
+            self._assignment = {
+                obj: int(node)
+                for obj, node in zip(problem.object_ids, applied.assignment)
+            }
+            if np.array_equal(applied.assignment, target.assignment):
+                self._pending_target = None
+            cost_after = applied.communication_cost()
+            self._detector.rebase_cost(cost_after)
+            obs.counter("online.migrated_bytes").inc(migration.bytes_moved)
+            span.set(moves=migration.num_moves, bytes=migration.bytes_moved)
+        return PeriodDecision(
+            period=period.index,
+            start_s=period.start_s,
+            end_s=period.end_s,
+            operations=period.num_operations,
+            tracked_pairs=problem.num_pairs,
+            action="migrate",
+            drift=drift,
             moves=migration.num_moves,
             bytes_moved=migration.bytes_moved,
             budget_bytes=budget,

@@ -146,6 +146,16 @@ class DriftDetector:
         )
         self._reference_cost = float(placement_cost)
 
+    def rebase_cost(self, placement_cost: float) -> None:
+        """Update only the cost reference, keeping the pair snapshot.
+
+        Used after a resumed (budget-truncated) migration step: the
+        placement improved without a replan, so inflation should be
+        measured against the improved cost while churn keeps comparing
+        against the pairs the target plan was computed for.
+        """
+        self._reference_cost = float(placement_cost)
+
     def assess(
         self,
         correlations: Mapping[Pair, float],

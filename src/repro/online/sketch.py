@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+import warnings
 from typing import Hashable, Iterable, Mapping, Sequence
 
 import numpy as np
@@ -400,15 +401,37 @@ class SketchCorrelationEstimator:
         }
 
     @classmethod
-    def from_dict(cls, doc: Mapping) -> "SketchCorrelationEstimator":
+    def from_dict(
+        cls,
+        doc: Mapping,
+        sizes: Mapping[ObjectId, float] | None = None,
+    ) -> "SketchCorrelationEstimator":
         """Rebuild an estimator from :meth:`to_dict` output.
 
-        Size keys come back as strings (JSON maps have string keys);
-        callers with non-string object ids should pass sizes afresh.
+        Args:
+            doc: Output of :meth:`to_dict` (possibly JSON
+                round-tripped).
+            sizes: Object sizes overriding the serialized ones.  JSON
+                maps have string keys, so serialized sizes only match
+                streams of *string* object ids; size-aware modes over
+                any other id type must pass ``sizes`` here — restoring
+                from the serialized keys alone warns, because the
+                estimator would silently find no known objects.
         """
         estimator = cls.__new__(cls)
         estimator.mode = doc["mode"]
-        estimator.sizes = doc["sizes"]
+        if sizes is not None:
+            estimator.sizes = dict(sizes)
+        else:
+            estimator.sizes = doc["sizes"]
+            if estimator.mode != "cooccurrence" and estimator.sizes is not None:
+                warnings.warn(
+                    f"restoring a {estimator.mode!r} estimator from "
+                    "JSON-stringified size keys; pairs over non-string object "
+                    "ids will be dropped — pass sizes= explicitly",
+                    UserWarning,
+                    stacklevel=2,
+                )
         estimator.sketch = CountMinSketch.from_dict(doc["sketch"])
         estimator.heavy = SpaceSavingPairs.from_dict(doc["heavy"])
         estimator._total_ops = float(doc["total_operations"])

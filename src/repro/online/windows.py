@@ -14,6 +14,7 @@ workloads and generic multi-object operation traces.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Iterator, Sequence
 
@@ -73,39 +74,54 @@ class StreamPeriod:
 
 
 def tumbling_periods(
-    stream: Iterable["TimedQuery | TimedOperation"], window_s: float
+    stream: Iterable["TimedQuery | TimedOperation"],
+    window_s: float,
+    origin_s: float | None = None,
 ) -> Iterator[StreamPeriod]:
     """Cut a timestamped stream into consecutive fixed-length periods.
 
-    Quiet periods in the middle of the stream are emitted empty (the
-    control loop still ticks); trailing empty periods are not.  The
-    stream is consumed in one pass, so generators work.
+    Period 0 is anchored at the first observed timestamp's window —
+    ``floor(first_time / window_s) * window_s`` — so streams with
+    absolute epoch timestamps do not produce millions of leading empty
+    periods.  Quiet periods in the middle of the stream are emitted
+    empty (the control loop still ticks); trailing empty periods are
+    not.  The stream is consumed in one pass, so generators work.
 
     Args:
         stream: Timestamped queries or operations in non-decreasing
             time order.
         window_s: Period length in seconds.
+        origin_s: Explicit start of period 0, overriding the
+            first-timestamp anchor; every timestamp must be at or
+            after it.
 
     Raises:
-        ValueError: On a non-positive window or when a timestamp runs
-            backwards (the slicing would silently misfile operations).
+        ValueError: On a non-positive window, when a timestamp runs
+            backwards (the slicing would silently misfile operations),
+            or when a timestamp precedes an explicit ``origin_s``.
     """
     if window_s <= 0:
         raise ValueError("window_s must be positive")
     index = 0
-    boundary = window_s
+    boundary: float | None = None if origin_s is None else origin_s + window_s
     current: list[Operation] = []
     last_time: float | None = None
-    empty = True
     for item in stream:
         timed = as_timed_operation(item)
-        if last_time is not None and timed.time_s < last_time:
+        if last_time is None:
+            if origin_s is not None and timed.time_s < origin_s:
+                raise ValueError(
+                    f"timestamp {timed.time_s:g}s precedes the stream "
+                    f"origin {origin_s:g}s"
+                )
+            if boundary is None:
+                boundary = math.floor(timed.time_s / window_s) * window_s + window_s
+        elif timed.time_s < last_time:
             raise ValueError(
                 "stream timestamps must be non-decreasing: got "
                 f"{timed.time_s:g}s after {last_time:g}s"
             )
         last_time = timed.time_s
-        empty = False
         while timed.time_s >= boundary:
             yield StreamPeriod(
                 index, boundary - window_s, boundary, tuple(current)
@@ -114,7 +130,7 @@ def tumbling_periods(
             index += 1
             boundary += window_s
         current.append(timed.objects)
-    if not empty:
+    if last_time is not None:
         yield StreamPeriod(index, boundary - window_s, boundary, tuple(current))
 
 

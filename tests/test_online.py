@@ -209,6 +209,26 @@ class TestSketchCorrelationEstimator:
         assert restored.correlations() == est.correlations()
         assert restored.num_operations == est.num_operations
 
+    def test_size_aware_round_trip_warns_without_sizes(self):
+        # JSON stringifies size keys; a size-aware restore without an
+        # explicit sizes mapping would silently drop every non-string
+        # object id, so it must warn.
+        sizes = {1: 1.0, 2: 2.0, 3: 3.0}
+        est = SketchCorrelationEstimator(mode="two_smallest", sizes=sizes)
+        est.observe((1, 2, 3))
+        doc = json.loads(json.dumps(est.to_dict()))
+        with pytest.warns(UserWarning, match="pass sizes= explicitly"):
+            SketchCorrelationEstimator.from_dict(doc)
+
+    def test_size_aware_round_trip_with_explicit_sizes(self):
+        sizes = {1: 1.0, 2: 2.0, 3: 3.0}
+        est = SketchCorrelationEstimator(mode="two_smallest", sizes=sizes)
+        est.observe((1, 2, 3))
+        doc = json.loads(json.dumps(est.to_dict()))
+        restored = SketchCorrelationEstimator.from_dict(doc, sizes=sizes)
+        restored.observe((1, 2, 3))
+        assert restored.correlations()[(1, 2)] == pytest.approx(1.0)
+
 
 class TestWindows:
     def test_tumbling_slicing(self):
@@ -232,6 +252,31 @@ class TestWindows:
         stream = [TimedOperation(5.0, ("a", "b")), TimedOperation(4.0, ("c", "d"))]
         with pytest.raises(ValueError, match="non-decreasing"):
             list(tumbling_periods(stream, 10.0))
+
+    def test_epoch_timestamps_anchor_first_window(self):
+        # A real query log carries absolute epoch times; period 0 must
+        # be the first operation's window, not ~470k empty periods in.
+        base = 1.7e9
+        stream = [
+            TimedOperation(base + 10.0, ("a", "b")),
+            TimedOperation(base + 3650.0, ("b", "c")),
+        ]
+        periods = list(tumbling_periods(stream, 3600.0))
+        assert [p.num_operations for p in periods] == [1, 1]
+        assert periods[0].index == 0
+        assert periods[0].start_s == (base // 3600.0) * 3600.0
+        assert periods[0].start_s <= base + 10.0 < periods[0].end_s
+
+    def test_explicit_origin(self):
+        stream = [TimedOperation(25.0, ("a", "b"))]
+        periods = list(tumbling_periods(stream, 10.0, origin_s=5.0))
+        assert [p.num_operations for p in periods] == [0, 0, 1]
+        assert periods[0].start_s == 5.0
+
+    def test_timestamp_before_origin_raises(self):
+        stream = [TimedOperation(1.0, ("a", "b"))]
+        with pytest.raises(ValueError, match="precedes the stream origin"):
+            list(tumbling_periods(stream, 10.0, origin_s=5.0))
 
     def test_empty_stream_no_periods(self):
         assert list(tumbling_periods([], 10.0)) == []
@@ -441,6 +486,76 @@ class TestOnlinePlanner:
         report = planner.run(shifting_stream())
         assert report.periods[SHIFT_PERIOD].action == "replan"
         assert report.memory_cells == 0  # exact backend reports no bound
+
+    def test_out_of_universe_objects_are_ignored(self):
+        # Objects missing from `sizes` must never crash the loop; a
+        # stream of entirely unknown partners just keeps observing.
+        planner = OnlinePlanner(
+            {"a": 1.0, "b": 1.0}, OnlineConfig(num_nodes=2, window_s=10.0)
+        )
+        report = planner.run([TimedOperation(0.0, ("a", "x"))] * 30)
+        assert [p.action for p in report.periods] == ["observe"]
+        assert report.final_placement == {}
+
+    def test_out_of_universe_objects_do_not_pollute_placement(self):
+        # Mixed traffic: in-universe pairs drive the placement, unknown
+        # objects are dropped before estimation.
+        planner = OnlinePlanner(
+            {"a": 1.0, "b": 1.0}, OnlineConfig(num_nodes=2, window_s=10.0)
+        )
+        stream = [
+            TimedOperation(float(i), ("a", "b", f"junk{i}")) for i in range(8)
+        ]
+        report = planner.run(stream)
+        assert report.periods[0].action == "bootstrap"
+        assert set(report.final_placement) == {"a", "b"}
+        # The colocatable pair ends up colocated despite the noise.
+        assert report.final_cost_estimate == 0.0
+
+    def test_preloaded_estimator_with_foreign_pairs(self):
+        # A custom backend may arrive already tracking pairs outside
+        # the placement universe; they must be filtered, not fatal.
+        exact = CorrelationEstimator()
+        exact.observe_all([("x", "y")] * 5)
+        planner = OnlinePlanner(
+            {"a": 1.0, "b": 1.0},
+            OnlineConfig(num_nodes=2, window_s=10.0),
+            estimator=exact,
+        )
+        report = planner.run([TimedOperation(0.0, ("a", "b"))] * 30)
+        assert report.periods[0].action == "bootstrap"
+        assert set(report.final_placement) == {"a", "b"}
+
+    def test_budget_truncated_replan_resumes_in_stable_periods(self):
+        # A tight budget truncates the replan's migration; the
+        # remainder must drain in following periods as "migrate"
+        # decisions instead of stalling on a rebased detector.
+        config = OnlineConfig(
+            num_nodes=4,
+            window_s=WINDOW_S,
+            sketch_width=256,
+            sketch_depth=4,
+            heavy_hitters=8,
+            decay=0.5,
+            thresholds=DriftThresholds(churn=0.3, top_k=8, min_operations=20),
+            budget_fraction=2 / len(SIZES),  # two unit objects per period
+            planning=PlanConfig(seed=0),
+        )
+        planner = OnlinePlanner(SIZES, config)
+        report = planner.run(shifting_stream())
+        assert report.periods[SHIFT_PERIOD].action == "replan"
+        migrate = [p for p in report.periods if p.action == "migrate"]
+        assert migrate, "truncated migration was never resumed"
+        for p in report.periods:
+            if p.action in ("replan", "migrate"):
+                assert p.budget_bytes is not None
+                assert p.bytes_moved <= p.budget_bytes + 1e-9
+                assert p.moves > 0
+        # Convergence completes: the pending target drains to nothing
+        # and the post-shift pairs end up colocated.
+        assert planner._pending_target is None
+        assert report.final_cost_estimate == 0.0
+        assert report.total_bytes_moved >= sum(p.bytes_moved for p in migrate)
 
 
 class TestOnlinePlannerRegistry:
