@@ -3,15 +3,21 @@
 Unlike the figure benches (one-shot regenerations), these measure the
 steady-state cost of the operations a deployment calls repeatedly:
 cost evaluation, rounding, LP construction, and query execution.
+
+The ``*_loop`` / ``*_sequential`` / ``*_cold`` variants pin the legacy
+implementation next to its vectorized fast path so ``pytest-benchmark``
+output shows the speedup directly; ``repro bench`` tracks the same
+ratios against a committed baseline (``BENCH_5.json``).
 """
 
 import numpy as np
 import pytest
 
-from repro.core.lp import build_placement_lp, solve_placement_lp
+from repro.core.lp import _build_placement_lp_loop, build_placement_lp, solve_placement_lp
 from repro.core.hashing import random_hash_placement
 from repro.core.importance import top_important
-from repro.core.rounding import round_fractional
+from repro.core.rounding import _round_trials_loop, round_fractional, round_trials_batched
+from repro.online.sketch import CountMinSketch
 from repro.search.engine import DistributedSearchEngine
 
 
@@ -38,6 +44,12 @@ def test_perf_importance_ranking(benchmark, study):
 
 def test_perf_lp_build(benchmark, scoped):
     lp = benchmark(lambda: build_placement_lp(scoped))
+    assert lp.num_variables > 0
+
+
+def test_perf_lp_build_loop(benchmark, scoped):
+    """Legacy row-at-a-time assembly — baseline for test_perf_lp_build."""
+    lp = benchmark(lambda: _build_placement_lp_loop(scoped))
     assert lp.num_variables > 0
 
 
@@ -75,6 +87,101 @@ def test_perf_engine_query(benchmark, study):
 
     def run_batch():
         return sum(engine.execute(q).bytes_transferred for q in queries)
+
+    total = benchmark(run_batch)
+    assert total >= 0
+
+
+def test_perf_rounding_batched(benchmark, scoped):
+    """All 32 trials advanced together as one vectorized sweep."""
+    fractional = solve_placement_lp(scoped)
+    seqs = np.random.SeedSequence(0).spawn(32)
+    assignments, _ = benchmark(lambda: round_trials_batched(fractional, seqs))
+    assert assignments.shape == (32, scoped.num_objects)
+
+
+def test_perf_rounding_trial_loop(benchmark, scoped):
+    """Same 32 trials, one at a time — baseline for the batched sweep."""
+    fractional = solve_placement_lp(scoped)
+    seqs = np.random.SeedSequence(0).spawn(32)
+    assignments, _ = benchmark(lambda: _round_trials_loop(fractional, seqs))
+    assert assignments.shape == (32, scoped.num_objects)
+
+
+def test_perf_log_replay_dedup(benchmark, study):
+    """Deduplicating replay: each distinct keyword tuple runs once."""
+    engine = DistributedSearchEngine(study.index, study.place_hash(10))
+    stats = benchmark(lambda: engine.execute_log(study.log, dedup=True))
+    assert stats.queries == len(study.log)
+
+
+def test_perf_log_replay_sequential(benchmark, study):
+    """One-at-a-time replay — baseline for the deduplicating path."""
+    engine = DistributedSearchEngine(study.index, study.place_hash(10))
+    stats = benchmark(lambda: engine.execute_log(study.log, dedup=False))
+    assert stats.queries == len(study.log)
+
+
+@pytest.fixture(scope="module")
+def ingest_pairs(study):
+    from repro.core.correlation import operation_pairs
+
+    pairs = []
+    for query in study.log:
+        pairs.extend(operation_pairs(query.keywords))
+    return pairs
+
+
+def test_perf_cm_ingest_batched(benchmark, ingest_pairs):
+    """Vectorized, hash-memoizing Count-Min ingest (update_many)."""
+    def run():
+        sketch = CountMinSketch(width=2048, depth=4, seed=0)
+        sketch.update_many(ingest_pairs)
+        return sketch
+
+    sketch = benchmark(run)
+    assert sketch.total == len(ingest_pairs)
+
+
+def test_perf_cm_ingest_loop(benchmark, ingest_pairs):
+    """One hash-and-scatter per pair — baseline for update_many."""
+    def run():
+        sketch = CountMinSketch(width=2048, depth=4, seed=0)
+        for pair in ingest_pairs:
+            sketch.add(pair)
+        return sketch
+
+    sketch = benchmark(run)
+    assert sketch.total == len(ingest_pairs)
+
+
+def test_perf_sort_key_warm_cache(benchmark, study):
+    """Query execution with the per-engine sort-key cache warm.
+
+    Together with the ``_cold_cache`` variant this isolates the win
+    from caching each word's ``(df, word)`` execution sort key: the
+    keys are pure functions of the index, so one engine serving many
+    queries pays the tuple construction once per word, not per query.
+    """
+    engine = DistributedSearchEngine(study.index, study.place_hash(10))
+    queries = [q for q in study.log][:200]
+    engine.execute_log(queries)  # warm the cache
+
+    def run_batch():
+        return sum(engine.execute(q).hops for q in queries)
+
+    total = benchmark(run_batch)
+    assert total >= 0
+
+
+def test_perf_sort_key_cold_cache(benchmark, study):
+    """Same batch with the sort-key cache cleared before every pass."""
+    engine = DistributedSearchEngine(study.index, study.place_hash(10))
+    queries = [q for q in study.log][:200]
+
+    def run_batch():
+        engine._sort_key_cache.clear()
+        return sum(engine.execute(q).hops for q in queries)
 
     total = benchmark(run_batch)
     assert total >= 0

@@ -39,7 +39,12 @@ from repro.core.replication import (
     hash_replicated_placement,
 )
 from repro.core.resources import ResourceSpec
-from repro.core.rounding import RoundingResult, round_fractional, round_best_of
+from repro.core.rounding import (
+    RoundingResult,
+    round_best_of,
+    round_fractional,
+    round_trials_batched,
+)
 from repro.core.spectral import spectral_placement
 from repro.core.serialization import (
     load_placement,
@@ -106,6 +111,7 @@ __all__ = [
     "repair_capacity",
     "round_best_of",
     "round_fractional",
+    "round_trials_batched",
     "round_robin_placement",
     "save_placement",
     "save_problem",

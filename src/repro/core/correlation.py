@@ -17,7 +17,11 @@ each an iterable of object ids — and return a dict mapping canonical
 id pairs to empirical probabilities (pair count / number of operations
 counted).  Every estimator makes exactly **one pass** over the trace,
 so single-use iterables (generators, streaming readers) work without
-materializing the trace in memory.
+materializing the trace in memory: operations are interned and mined
+in vectorized chunks (working set ``O(chunk + distinct pairs)``), and
+any trace the vectorized engine cannot mine exactly falls back to the
+equivalent per-operation loop, so results — including dict insertion
+order — never depend on which engine ran.
 
 The per-operation reduction is exposed as :func:`operation_pairs` and
 the incremental surface as the :class:`PairEstimator` protocol, shared
@@ -29,6 +33,8 @@ from __future__ import annotations
 
 from collections import Counter
 from typing import Hashable, Iterable, Mapping, Protocol, Sequence, runtime_checkable
+
+import numpy as np
 
 ObjectId = Hashable
 Operation = Sequence[ObjectId]
@@ -80,20 +86,38 @@ def operation_pairs(
     Returns:
         Canonical pairs, possibly empty; each pair appears at most once.
     """
+    if mode != "cooccurrence":
+        if mode not in CorrelationEstimator.MODES:
+            raise ValueError(
+                f"unknown mode {mode!r}; expected one of {CorrelationEstimator.MODES}"
+            )
+        if sizes is None:
+            raise ValueError(f"mode {mode!r} requires object sizes")
+    return _pairs_from_distinct(list(set(operation)), mode, sizes)
+
+
+def _pairs_from_distinct(
+    distinct: list[ObjectId],
+    mode: str,
+    sizes: Mapping[ObjectId, float] | None,
+) -> list[Pair]:
+    """The Section 3.2 reduction over already-deduplicated objects.
+
+    ``distinct`` must carry the iteration order of the operation's
+    ``set`` — both the repr sort (ties) and the union pair order depend
+    on it, and the batch miner replays recorded operations through this
+    helper so its fallback path stays byte-identical to the legacy
+    per-operation loop.
+    """
     if mode == "cooccurrence":
-        objects = sorted(set(operation), key=repr)
+        objects = sorted(distinct, key=repr)
         return [
             _canonical(objects[a], objects[b])
             for a in range(len(objects))
             for b in range(a + 1, len(objects))
         ]
-    if mode not in CorrelationEstimator.MODES:
-        raise ValueError(
-            f"unknown mode {mode!r}; expected one of {CorrelationEstimator.MODES}"
-        )
-    if sizes is None:
-        raise ValueError(f"mode {mode!r} requires object sizes")
-    known = [o for o in set(operation) if o in sizes]
+    assert sizes is not None
+    known = [o for o in distinct if o in sizes]
     if len(known) < 2:
         return []
     if mode == "two_smallest":
@@ -103,18 +127,362 @@ def operation_pairs(
     return [_canonical(largest, other) for other in known if other != largest]
 
 
+#: Operations mined per vectorized batch.  Bounds the miner's working
+#: set to O(chunk + distinct pairs) — the same asymptotics as the
+#: legacy streaming loop — while amortizing the numpy dispatch.
+_CHUNK_OPS = 4096
+
+#: Raw pair-key backlog that triggers a compaction of the key-space
+#: accumulator (see :func:`_compact_keys`).
+_COMPACT_PAIRS = 1 << 20
+
+
+def _compact_keys(
+    key_parts: list[np.ndarray], count_parts: list[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge packed-key streams into (unique keys, summed counts).
+
+    The streams concatenate in emission order, so sorting the unique
+    keys by their first index reproduces the Counter's insertion order.
+    Counts are summed through ``bincount`` float64 accumulation, exact
+    for totals below 2**53 (a trace that large is out of scope).
+    """
+    keys = np.concatenate(key_parts)
+    weights = np.concatenate(count_parts)
+    uniq, first, inverse = np.unique(keys, return_index=True, return_inverse=True)
+    sums = np.bincount(inverse, weights=weights, minlength=len(uniq))
+    order = np.argsort(first)
+    return uniq[order], sums.astype(np.int64)[order]
+
+
+class _TraceEncoder:
+    """Interns object ids to dense codes and watches fast-path gates.
+
+    The vectorized miner operates on integer codes, so correctness
+    hinges on the code <-> object mapping preserving every property the
+    legacy loop relies on: value order (for :func:`_canonical`), repr
+    order (for the cooccurrence sort and size tie-breaks), and the
+    first-inserted-key-wins identity of ``Counter`` keys.  Those hold
+    when every id is a ``str``, or every id is an ``int``/``float``
+    (no bools, no NaNs, no cross-type equal values) — anything else
+    trips ``fast`` off and the miner falls back to the exact loop over
+    the recorded operations.
+    """
+
+    __slots__ = (
+        "code", "objects", "reprs", "fast", "_has_str", "_has_num", "_repr_seen"
+    )
+
+    def __init__(self) -> None:
+        self.code: dict[ObjectId, int] = {}
+        self.objects: list[ObjectId] = []
+        self.reprs: list[str] = []
+        self.fast = True
+        self._has_str = False
+        self._has_num = False
+        self._repr_seen: set[str] = set()
+
+    def encode(self, distinct: list[ObjectId]) -> list[int]:
+        """Codes for one operation's distinct objects, interning new ones."""
+        code = self.code
+        out = []
+        for obj in distinct:
+            c = code.get(obj)
+            if c is None:
+                c = len(self.objects)
+                code[obj] = c
+                self.objects.append(obj)
+                r = repr(obj)
+                if self.fast:
+                    t = type(obj)
+                    if t is str:
+                        self._has_str = True
+                    elif t is int:
+                        self._has_num = True
+                    elif t is float:
+                        self._has_num = True
+                        if obj != obj:  # NaN breaks total order
+                            self.fast = False
+                    else:
+                        self.fast = False
+                    if r in self._repr_seen:
+                        # Duplicate reprs make the cooccurrence sort
+                        # order depend on per-operation set order.
+                        self.fast = False
+                    else:
+                        self._repr_seen.add(r)
+                self.reprs.append(r)
+            elif self.fast:
+                stored = self.objects[c]
+                if stored is not obj and type(stored) is not type(obj):
+                    # Equal-but-distinct ids (1 vs True, 1 vs 1.0):
+                    # the Counter key must be the operation's own
+                    # object, not our representative.
+                    self.fast = False
+            out.append(c)
+        return out
+
+    def fast_ok(self) -> bool:
+        """Whether the vectorized path is still exact for this table."""
+        return self.fast and not (self._has_str and self._has_num)
+
+
+def _invert_order(order: list[int]) -> np.ndarray:
+    """Permutation -> rank array (``rank[order[i]] = i``)."""
+    rank = np.empty(len(order), dtype=np.int64)
+    rank[np.asarray(order, dtype=np.int64)] = np.arange(len(order), dtype=np.int64)
+    return rank
+
+
+def _chunk_ranks(
+    enc: _TraceEncoder,
+    cache: dict,
+    mode: str,
+    sizes: Mapping[ObjectId, float] | None,
+) -> dict | None:
+    """Per-code rank arrays for the current intern table (cached).
+
+    Returns ``None`` — flipping the encoder's fast bit off — when a
+    size value cannot be compared exactly as a float, which would make
+    the vectorized size sort diverge from the legacy tuple sort.
+    """
+    n = len(enc.objects)
+    if cache.get("n") != n:
+        cache.clear()
+        cache["n"] = n
+        cache["repr_rank"] = _invert_order(
+            sorted(range(n), key=enc.reprs.__getitem__)
+        )
+        # Total order is guaranteed by the encoder's type gates.
+        cache["value_rank"] = _invert_order(
+            sorted(range(n), key=enc.objects.__getitem__)
+        )
+    if mode != "cooccurrence" and "size_rank" not in cache:
+        assert sizes is not None
+        in_sizes = np.fromiter(
+            (obj in sizes for obj in enc.objects), dtype=bool, count=n
+        )
+        size_vals = np.zeros(n, dtype=np.float64)
+        for c in np.flatnonzero(in_sizes):
+            value = sizes[enc.objects[int(c)]]
+            try:
+                as_float = float(value)
+                exact = as_float == value
+            except (TypeError, ValueError, OverflowError):
+                enc.fast = False
+                return None
+            if not exact:  # NaN or a value float64 cannot hold exactly
+                enc.fast = False
+                return None
+            size_vals[c] = as_float
+        cache["in_sizes"] = in_sizes
+        # lexsort: last key is primary -> size first, repr breaks ties,
+        # mirroring the legacy (sizes[o], repr(o)) sort key.
+        cache["size_rank"] = _invert_order(
+            np.lexsort((cache["repr_rank"], size_vals)).tolist()
+        )
+    return cache
+
+
+def _mine_chunk(
+    flat: np.ndarray,
+    lengths: np.ndarray,
+    enc: _TraceEncoder,
+    mode: str,
+    sizes: Mapping[ObjectId, float] | None,
+    cache: dict,
+) -> np.ndarray | None:
+    """One chunk's packed pair keys, duplicates kept, in emission order.
+
+    Returns ``None`` when a gate trips, in which case the caller replays
+    the chunk through :func:`_pairs_from_distinct`.
+    """
+    n = len(enc.objects)
+    if n >= 2**31:  # pair keys must fit an int64 product
+        enc.fast = False
+        return None
+    ranks = _chunk_ranks(enc, cache, mode, sizes)
+    if ranks is None:
+        return None
+
+    starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    parts_x: list[np.ndarray] = []
+    parts_y: list[np.ndarray] = []
+    parts_pos: list[np.ndarray] = []
+
+    if mode == "cooccurrence":
+        repr_rank = ranks["repr_rank"]
+        emitted = lengths * (lengths - 1) // 2
+        pair_base = np.concatenate(([0], np.cumsum(emitted)[:-1]))
+        for length in np.unique(lengths):
+            length = int(length)
+            if length < 2:
+                continue
+            rows = np.flatnonzero(lengths == length)
+            mat = flat[starts[rows][:, None] + np.arange(length)]
+            order = np.argsort(repr_rank[mat], axis=1)
+            mat = np.take_along_axis(mat, order, axis=1)
+            ai, bi = np.triu_indices(length, k=1)
+            per_op = length * (length - 1) // 2
+            parts_x.append(mat[:, ai].ravel())
+            parts_y.append(mat[:, bi].ravel())
+            parts_pos.append(
+                (pair_base[rows][:, None] + np.arange(per_op)).ravel()
+            )
+    else:
+        size_rank = ranks["size_rank"]
+        mask = ranks["in_sizes"][flat]
+        running = np.concatenate(([0], np.cumsum(mask)))
+        known_len = running[starts + lengths] - running[starts]
+        known_flat = flat[mask]
+        known_starts = np.concatenate(([0], np.cumsum(known_len)[:-1]))
+        if mode == "two_smallest":
+            for length in np.unique(known_len):
+                length = int(length)
+                if length < 2:
+                    continue
+                rows = np.flatnonzero(known_len == length)
+                mat = known_flat[known_starts[rows][:, None] + np.arange(length)]
+                order = np.argsort(size_rank[mat], axis=1)[:, :2]
+                picked = np.take_along_axis(mat, order, axis=1)
+                parts_x.append(picked[:, 0])
+                parts_y.append(picked[:, 1])
+                parts_pos.append(rows)
+        else:  # union_largest
+            emitted = np.where(known_len >= 2, known_len - 1, 0)
+            pair_base = np.concatenate(([0], np.cumsum(emitted)[:-1]))
+            for length in np.unique(known_len):
+                length = int(length)
+                if length < 2:
+                    continue
+                rows = np.flatnonzero(known_len == length)
+                mat = known_flat[known_starts[rows][:, None] + np.arange(length)]
+                biggest = np.argmax(size_rank[mat], axis=1)
+                keep = np.arange(length)[None, :] != biggest[:, None]
+                others = mat[keep].reshape(-1, length - 1)
+                parts_x.append(
+                    np.repeat(mat[np.arange(len(rows)), biggest], length - 1)
+                )
+                parts_y.append(others.ravel())
+                parts_pos.append(
+                    (pair_base[rows][:, None] + np.arange(length - 1)).ravel()
+                )
+
+    if not parts_x:
+        return np.empty(0, dtype=np.int64)
+    cx = np.concatenate(parts_x)
+    cy = np.concatenate(parts_y)
+    emission = np.argsort(np.concatenate(parts_pos))
+    cx = cx[emission]
+    cy = cy[emission]
+    value_rank = ranks["value_rank"]
+    swap = value_rank[cx] > value_rank[cy]
+    lo = np.where(swap, cy, cx)
+    hi = np.where(swap, cx, cy)
+    # Codes stay below 2**31, so a packed int64 key is collision-free
+    # and — unlike ``lo * n + hi`` — independent of the table size,
+    # letting key streams from different chunks merge directly.
+    return (lo << np.int64(32)) | hi
+
+
 def _single_pass(
     trace: Iterable[Operation],
     mode: str,
     sizes: Mapping[ObjectId, float] | None,
     min_support: int,
 ) -> PairProbabilities:
-    """Count pairs in one pass; ``trace`` may be a one-shot iterable."""
+    """Count pairs in one pass; ``trace`` may be a one-shot iterable.
+
+    Operations are deduplicated and interned as they stream by, then
+    mined in vectorized chunks of :data:`_CHUNK_OPS`; the per-chunk
+    counts fold into one :class:`~collections.Counter` in emission
+    order, so the result — values *and* dict insertion order — is
+    byte-identical to the legacy per-operation loop, which remains the
+    fallback whenever an exactness gate trips (see
+    :class:`_TraceEncoder`).
+    """
     counts: Counter = Counter()
     total = 0
+    enc = _TraceEncoder()
+    ranks_cache: dict = {}
+    chunk_ops: list[list[ObjectId]] = []
+    chunk_flat: list[int] = []
+    chunk_lens: list[int] = []
+    # Order-preserving key-space accumulator: parallel (keys, counts)
+    # streams, compacted whenever the raw backlog grows past a bound so
+    # memory stays O(unique pairs + compaction window).
+    key_parts: list[np.ndarray] = []
+    count_parts: list[np.ndarray] = []
+    pending = 0
+
+    def compact() -> None:
+        nonlocal pending
+        keys, sums = _compact_keys(key_parts, count_parts)
+        key_parts[:] = [keys]
+        count_parts[:] = [sums]
+        pending = 0
+
+    def flush() -> None:
+        nonlocal pending
+        if not chunk_lens:
+            return
+        mined = None
+        if enc.fast_ok():
+            mined = _mine_chunk(
+                np.asarray(chunk_flat, dtype=np.int64),
+                np.asarray(chunk_lens, dtype=np.int64),
+                enc,
+                mode,
+                sizes,
+                ranks_cache,
+            )
+        if mined is None:
+            # A gate tripped: this chunk (and, the gates being sticky,
+            # every later one) replays the exact legacy loop over the
+            # recorded per-operation distinct lists.  The gate object
+            # was first seen in this chunk, so earlier vectorized
+            # chunks were unaffected by it.
+            for distinct in chunk_ops:
+                counts.update(_pairs_from_distinct(distinct, mode, sizes))
+        else:
+            key_parts.append(mined)
+            count_parts.append(np.ones(len(mined), dtype=np.int64))
+            pending += len(mined)
+            if pending > _COMPACT_PAIRS:
+                compact()
+        chunk_ops.clear()
+        chunk_flat.clear()
+        chunk_lens.clear()
+
     for operation in trace:
+        if total == 0 and mode != "cooccurrence":
+            if mode not in CorrelationEstimator.MODES:
+                raise ValueError(
+                    f"unknown mode {mode!r}; expected one of "
+                    f"{CorrelationEstimator.MODES}"
+                )
+            if sizes is None:
+                raise ValueError(f"mode {mode!r} requires object sizes")
         total += 1
-        counts.update(operation_pairs(operation, mode, sizes))
+        distinct = list(set(operation))
+        chunk_ops.append(distinct)
+        chunk_lens.append(len(distinct))
+        chunk_flat.extend(enc.encode(distinct))
+        if len(chunk_lens) >= _CHUNK_OPS:
+            flush()
+    flush()
+
+    if key_parts:
+        keys, sums = _compact_keys(key_parts, count_parts)
+        objects = enc.objects
+        merged: Counter = Counter()
+        for key, count in zip(keys.tolist(), sums.tolist()):
+            merged[(objects[key >> 32], objects[key & 0xFFFFFFFF])] = count
+        # Loop-fallback chunks, if any, ran strictly after every
+        # vectorized chunk, so their new pairs append behind the
+        # vectorized ones — matching the legacy insertion order.
+        merged.update(counts)
+        counts = merged
     return _finalize(counts, total, min_support)
 
 
@@ -251,6 +619,35 @@ class CorrelationEstimator:
         """Fold every operation of ``trace`` into the estimate."""
         for operation in trace:
             self.observe(operation)
+
+    def observe_trace(self, trace: Iterable[Operation]) -> int:
+        """Fold a whole trace in one batched pass; returns ops ingested.
+
+        Produces byte-identical state to :meth:`observe_all`: pairs
+        enter the counter in the same stream order (so dict insertion
+        order matches) and the operation total follows the same float
+        accumulation.  The win is one ``Counter.update`` instead of one
+        per operation — the hot ingest path for periodic replanning.
+        """
+        pairs: list[Pair] = []
+        ops = 0
+        for operation in trace:
+            ops += 1
+            pairs.extend(operation_pairs(operation, self.mode, self.sizes))
+        self._counts.update(pairs)
+        # ``observe`` accumulates the total one float += 1 at a time.
+        # A single ``+= ops`` is only guaranteed to match when the
+        # running total is an exact integer small enough that every
+        # intermediate step is representable; after a decay left a
+        # fractional total, replay the per-operation accumulation.
+        if float(self._total).is_integer() and self._total + ops < 2**53:
+            self._total += float(ops)
+        else:
+            total = self._total
+            for _ in range(ops):
+                total += 1
+            self._total = total
+        return ops
 
     def decay(self, factor: float) -> None:
         """Exponentially age the history: scale every count by ``factor``.

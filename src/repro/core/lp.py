@@ -96,6 +96,105 @@ def build_placement_lp(problem: PlacementProblem) -> LinearProgram:
     for pair ``p`` and node ``k`` at index ``t*n + p*n + k``.  Pairs
     with zero objective weight are excluded (they cannot affect the
     optimum), matching the paper's restriction to ``r(i,j) > 0``.
+
+    All ``O(|E||N|)`` rows are assembled as whole COO blocks through
+    :meth:`~repro.lpsolve.LinearProgram.add_constraints_from_arrays`;
+    the resulting program is identical — same variable and constraint
+    names, same row and triplet order — to the per-row reference
+    :func:`_build_placement_lp_loop`.
+    """
+    t, n = problem.num_objects, problem.num_nodes
+    lp = LinearProgram(f"cca-{t}x{n}")
+
+    lp.add_variables_from_arrays(
+        [f"x[{i},{k}]" for i in range(t) for k in range(n)],
+        lower=0.0,
+        upper=1.0,
+    )
+
+    active_pairs = np.where(problem.pair_weights > 0)[0]
+    num_active = len(active_pairs)
+    pair_i = problem.pair_index[active_pairs, 0]
+    pair_j = problem.pair_index[active_pairs, 1]
+    if num_active:
+        lp.add_variables_from_arrays(
+            [
+                f"y[{i},{j},{k}]"
+                for i, j in zip(pair_i.tolist(), pair_j.tolist())
+                for k in range(n)
+            ],
+            lower=0.0,
+            objective=np.repeat(problem.pair_weights[active_pairs], n),
+        )
+
+    ks = np.arange(n, dtype=np.int64)
+
+    # (5): each object fully placed.
+    lp.add_constraints_from_arrays(
+        rows=np.repeat(np.arange(t, dtype=np.int64), n),
+        cols=np.arange(t * n, dtype=np.int64),
+        vals=np.ones(t * n),
+        senses=Sense.EQ,
+        rhs=np.ones(t),
+        names=[f"assign[{i}]" for i in range(t)],
+    )
+
+    # (6)-(7) compacted: y >= x_i - x_j captures the positive part;
+    # the negative part carries equal mass (see module docstring).
+    y_base = t * n
+    if num_active:
+        y_cols = y_base + np.arange(num_active * n, dtype=np.int64).reshape(
+            num_active, n
+        )
+        xi_cols = pair_i[:, None] * n + ks[None, :]
+        xj_cols = pair_j[:, None] * n + ks[None, :]
+        lp.add_constraints_from_arrays(
+            rows=np.repeat(np.arange(num_active * n, dtype=np.int64), 3),
+            cols=np.stack([y_cols, xi_cols, xj_cols], axis=2).reshape(-1),
+            vals=np.tile([1.0, -1.0, 1.0], num_active * n),
+            senses=Sense.GE,
+            rhs=np.zeros(num_active * n),
+        )
+
+    # (9): per-node capacity; skip unconstrained (infinite) nodes.
+    finite_k = np.flatnonzero(np.isfinite(problem.capacities))
+    if finite_k.size:
+        m = len(finite_k)
+        lp.add_constraints_from_arrays(
+            rows=np.repeat(np.arange(m, dtype=np.int64), t),
+            cols=(
+                np.arange(t, dtype=np.int64)[None, :] * n + finite_k[:, None]
+            ).reshape(-1),
+            vals=np.tile(np.asarray(problem.sizes, dtype=float), m),
+            senses=Sense.LE,
+            rhs=problem.capacities[finite_k],
+            names=[f"capacity[{k}]" for k in finite_k.tolist()],
+        )
+
+    # Section 3.3: one more (9)-style row per extra resource and node.
+    for spec in problem.resources:
+        loaded = np.flatnonzero(np.asarray(spec.loads) > 0)
+        budget_k = np.flatnonzero(np.isfinite(spec.budgets))
+        if not loaded.size or not budget_k.size:
+            continue
+        m = len(budget_k)
+        lp.add_constraints_from_arrays(
+            rows=np.repeat(np.arange(m, dtype=np.int64), loaded.size),
+            cols=(loaded[None, :] * n + budget_k[:, None]).reshape(-1),
+            vals=np.tile(np.asarray(spec.loads, dtype=float)[loaded], m),
+            senses=Sense.LE,
+            rhs=np.asarray(spec.budgets, dtype=float)[budget_k],
+            names=[f"{spec.name}[{k}]" for k in budget_k.tolist()],
+        )
+    return lp
+
+
+def _build_placement_lp_loop(problem: PlacementProblem) -> LinearProgram:
+    """Per-row reference assembly of the Figure 4 LP.
+
+    Kept as the equivalence oracle for :func:`build_placement_lp` (the
+    property tests assert identical program state) and as the "before"
+    side of the ``repro bench`` LP-assembly scenario.
     """
     t, n = problem.num_objects, problem.num_nodes
     lp = LinearProgram(f"cca-{t}x{n}")
@@ -111,14 +210,11 @@ def build_placement_lp(problem: PlacementProblem) -> LinearProgram:
         for k in range(n):
             lp.add_variable(f"y[{i},{j},{k}]", lower=0.0, objective=weight)
 
-    # (5): each object fully placed.
     for i in range(t):
         lp.add_constraint(
             [(i * n + k, 1.0) for k in range(n)], Sense.EQ, 1.0, f"assign[{i}]"
         )
 
-    # (6)-(7) compacted: y >= x_i - x_j captures the positive part;
-    # the negative part carries equal mass (see module docstring).
     y_base = t * n
     for idx, p in enumerate(active_pairs):
         i, j = problem.pair_index[p]
@@ -129,7 +225,6 @@ def build_placement_lp(problem: PlacementProblem) -> LinearProgram:
                 [(y_var, 1.0), (xi, -1.0), (xj, 1.0)], Sense.GE, 0.0
             )
 
-    # (9): per-node capacity; skip unconstrained (infinite) nodes.
     for k in range(n):
         cap = problem.capacities[k]
         if np.isfinite(cap):
@@ -140,7 +235,6 @@ def build_placement_lp(problem: PlacementProblem) -> LinearProgram:
                 f"capacity[{k}]",
             )
 
-    # Section 3.3: one more (9)-style row per extra resource and node.
     for spec in problem.resources:
         for k in range(n):
             budget = spec.budgets[k]

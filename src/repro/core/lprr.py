@@ -200,7 +200,10 @@ class LPRRPlanner:
             "hash_salt": self.hash_salt,
             "repair": self.repair,
             "decompose": self.decompose,
-            "engine": "legacy" if self.jobs is None else "spawned-seeds",
+            # "spawned-seeds-batched" invalidates caches written by the
+            # pre-batched engine, whose trials drew rounds one at a time
+            # instead of in pre-drawn blocks.
+            "engine": "legacy" if self.jobs is None else "spawned-seeds-batched",
         }
         # Solve limits join the key only when set, so existing caches
         # stay valid for the (default) unlimited configuration.

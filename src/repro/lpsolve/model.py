@@ -142,6 +142,112 @@ class LinearProgram:
             for i in range(count)
         ]
 
+    def add_variables_from_arrays(
+        self,
+        names: Sequence[str],
+        lower: float | Sequence[float] = 0.0,
+        upper: float | Sequence[float] = float("inf"),
+        objective: float | Sequence[float] = 0.0,
+    ) -> int:
+        """Bulk-append variables; returns the index of the first one.
+
+        The batch equivalent of calling :meth:`add_variable` once per
+        name: the resulting program state is identical, but the
+        appends happen as single ``list.extend`` calls instead of one
+        Python call per variable.  Scalars broadcast over the batch.
+        """
+        count = len(names)
+        base = len(self._var_names)
+        lower_arr = np.broadcast_to(np.asarray(lower, dtype=float), (count,))
+        upper_arr = np.broadcast_to(np.asarray(upper, dtype=float), (count,))
+        objective_arr = np.broadcast_to(np.asarray(objective, dtype=float), (count,))
+        bad = np.flatnonzero(lower_arr > upper_arr)
+        if bad.size:
+            i = int(bad[0])
+            raise ValueError(
+                f"variable {names[i]!r}: lower {lower_arr[i]} > upper {upper_arr[i]}"
+            )
+        self._var_names.extend(
+            name if name else f"x{base + i}" for i, name in enumerate(names)
+        )
+        self._lower.extend(lower_arr.tolist())
+        self._upper.extend(upper_arr.tolist())
+        self._objective.extend(objective_arr.tolist())
+        return base
+
+    def add_constraints_from_arrays(
+        self,
+        rows: Sequence[int] | np.ndarray,
+        cols: Sequence[int] | np.ndarray,
+        vals: Sequence[float] | np.ndarray,
+        senses: Sense | Sequence[Sense],
+        rhs: Sequence[float] | np.ndarray,
+        names: Sequence[str] | None = None,
+    ) -> int:
+        """Bulk-append constraint rows from COO triplets.
+
+        The batch equivalent of one :meth:`add_constraint` call per
+        row: the COO triplet arrays land in the same append-only
+        storage in the same order, so the resulting program is
+        byte-identical to the loop — but without a Python-level loop
+        over ``len(vals)`` coefficients.
+
+        Args:
+            rows: Local 0-based row offset of each triplet (values in
+                ``[0, len(rhs))``, ordered however the caller likes —
+                triplet order is preserved verbatim).
+            cols: Variable index of each triplet.
+            vals: Coefficient of each triplet.
+            senses: One :class:`Sense` shared by every row, or one per
+                row.
+            rhs: Right-hand side per row; its length is the number of
+                rows appended.
+            names: Optional name per row (empty strings auto-name).
+
+        Returns:
+            The global index of the first appended row.
+        """
+        rows_arr = np.asarray(rows, dtype=np.int64)
+        cols_arr = np.asarray(cols, dtype=np.int64)
+        vals_arr = np.asarray(vals, dtype=float)
+        rhs_arr = np.asarray(rhs, dtype=float)
+        count = int(rhs_arr.shape[0])
+        if not (rows_arr.shape == cols_arr.shape == vals_arr.shape):
+            raise ValueError("rows, cols, and vals must have matching lengths")
+        if rows_arr.size and not (
+            0 <= int(rows_arr.min()) and int(rows_arr.max()) < count
+        ):
+            raise ValueError(f"row offsets must lie in [0, {count})")
+        n = self.num_variables
+        if cols_arr.size and not (
+            0 <= int(cols_arr.min()) and int(cols_arr.max()) < n
+        ):
+            raise ValueError(f"constraint references an unknown variable (n={n})")
+        base = len(self._rhs)
+        if isinstance(senses, Sense):
+            sense_list = [senses] * count
+        else:
+            sense_list = list(senses)
+            if len(sense_list) != count:
+                raise ValueError("senses must match the number of rows")
+            if not all(isinstance(s, Sense) for s in sense_list):
+                raise ValueError("senses must be Sense members")
+        if names is None:
+            name_list = [f"c{base + r}" for r in range(count)]
+        else:
+            if len(names) != count:
+                raise ValueError("names must match the number of rows")
+            name_list = [
+                name if name else f"c{base + r}" for r, name in enumerate(names)
+            ]
+        self._rows.extend((rows_arr + base).tolist())
+        self._cols.extend(cols_arr.tolist())
+        self._vals.extend(vals_arr.tolist())
+        self._senses.extend(sense_list)
+        self._rhs.extend(rhs_arr.tolist())
+        self._con_names.extend(name_list)
+        return base
+
     def set_objective(self, var: Variable | int, coefficient: float) -> None:
         """Set (overwrite) the objective coefficient of one variable."""
         self._objective[int(var)] = float(coefficient)

@@ -94,6 +94,22 @@ class Histogram:
                 self._sorted = False
             self._values.append(float(value))
 
+    def observe_many(self, value: float, count: int) -> None:
+        """Record ``count`` identical observations in one append.
+
+        Equivalent to ``count`` :meth:`observe` calls — the batched
+        replay path aggregates repeated queries and reports each
+        unique value once with its multiplicity.
+        """
+        if count < 0:
+            raise ValueError("count must be nonnegative")
+        if count == 0:
+            return
+        with self._lock:
+            if self._sorted and self._values and value < self._values[-1]:
+                self._sorted = False
+            self._values.extend([float(value)] * count)
+
     @property
     def count(self) -> int:
         return len(self._values)
@@ -165,6 +181,9 @@ class _NullInstrument:
         return None
 
     def observe(self, value: float) -> None:
+        return None
+
+    def observe_many(self, value: float, count: int) -> None:
         return None
 
     value = 0.0

@@ -439,13 +439,16 @@ class OnlinePlanner:
         with obs.span(
             "online.period", index=period.index, operations=period.num_operations
         ) as span:
-            for operation in period.operations:
-                # Out-of-universe objects cannot be placed; drop them
-                # here so they neither crash problem construction nor
-                # waste heavy-hitter capacity.
-                self._window.observe(
+            # Out-of-universe objects cannot be placed; drop them here
+            # so they neither crash problem construction nor waste
+            # heavy-hitter capacity.  The filtered period then ingests
+            # through the batched trace path in one call.
+            self._window.observe_trace(
+                [
                     tuple(obj for obj in operation if obj in self.sizes)
-                )
+                    for operation in period.operations
+                ]
+            )
             obs.counter("online.periods").inc()
             obs.counter("online.operations").inc(period.num_operations)
             obs.gauge("online.sketch_cells").set(self.memory_cells)

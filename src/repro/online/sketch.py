@@ -63,6 +63,12 @@ class CountMinSketch:
             match.
     """
 
+    # Cap on the memoized key -> cell-indices table used by the batch
+    # ingest path.  Bounded so the sketch's O(width x depth) memory
+    # guarantee survives adversarial key universes; Zipf streams fit
+    # their whole heavy tail long before the cap.
+    _INDEX_CACHE_CAPACITY = 1 << 16
+
     def __init__(self, width: int = 1024, depth: int = 4, seed: int = 0):
         if width < 1 or depth < 1:
             raise ValueError("width and depth must be at least 1")
@@ -74,6 +80,7 @@ class CountMinSketch:
         self._key = hashlib.blake2b(
             str(self.seed).encode("utf-8"), digest_size=16
         ).digest()
+        self._index_cache: dict[Hashable, tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
     # Hashing
@@ -89,6 +96,22 @@ class CountMinSketch:
     # ------------------------------------------------------------------
     # Updates and queries
     # ------------------------------------------------------------------
+    def _cached_indices(self, key: Hashable) -> tuple[int, ...]:
+        """Memoized :meth:`_indices` for the batch ingest path.
+
+        Streams revisit hot keys constantly (that is the point of the
+        heavy-hitter machinery), so the BLAKE2b digest of a repeated
+        key is pure recomputation.  The table is cleared wholesale at
+        capacity — deterministic, and cheaper than LRU bookkeeping.
+        """
+        cached = self._index_cache.get(key)
+        if cached is None:
+            if len(self._index_cache) >= self._INDEX_CACHE_CAPACITY:
+                self._index_cache.clear()
+            cached = tuple(self._indices(key))
+            self._index_cache[key] = cached
+        return cached
+
     def add(self, key: Hashable, count: float = 1.0) -> None:
         """Increment ``key`` by ``count`` (must be nonnegative)."""
         if count < 0:
@@ -96,6 +119,60 @@ class CountMinSketch:
         for row, idx in enumerate(self._indices(key)):
             self._cells[row, idx] += count
         self._total += count
+
+    def update_many(
+        self,
+        keys: Sequence[Hashable],
+        counts: Sequence[float] | None = None,
+    ) -> None:
+        """Fold a batch of keys into the sketch in one vectorized pass.
+
+        Byte-identical to calling :meth:`add` once per key in order:
+        cell updates are applied with ``np.add.at`` in key-major,
+        row-minor element order — the exact accumulation order of the
+        sequential loop — and the running total accumulates one key at
+        a time so floating-point association matches too.  Hashing is
+        memoized per key (:meth:`_cached_indices`), which is where the
+        batch path wins on the heavily repeating streams the online
+        subsystem ingests.
+
+        Args:
+            keys: Keys to increment, in stream order.
+            counts: Per-key nonnegative increments (default: 1 each).
+        """
+        keys = list(keys)
+        if not keys:
+            return
+        if counts is None:
+            count_list = [1.0] * len(keys)
+        else:
+            count_list = [float(c) for c in counts]
+            if len(count_list) != len(keys):
+                raise ValueError("counts must match the number of keys")
+            if any(c < 0 for c in count_list):
+                raise ValueError("count must be nonnegative")
+        cols = np.fromiter(
+            (idx for key in keys for idx in self._cached_indices(key)),
+            dtype=np.int64,
+            count=len(keys) * self.depth,
+        )
+        rows = np.tile(np.arange(self.depth, dtype=np.int64), len(keys))
+        np.add.at(
+            self._cells,
+            (rows, cols),
+            np.repeat(np.asarray(count_list, dtype=float), self.depth),
+        )
+        if counts is None and float(self._total).is_integer() and (
+            self._total + len(keys) < 2**53
+        ):
+            # All-ones batch onto an integer-valued total: the sum is
+            # exact either way, so skip the element loop.
+            self._total += float(len(keys))
+        else:
+            total = self._total
+            for c in count_list:
+                total += c
+            self._total = total
 
     def estimate(self, key: Hashable) -> float:
         """Point estimate for ``key``: never below the true count."""
@@ -203,7 +280,14 @@ class SpaceSavingPairs:
         elif len(self._entries) < self.capacity:
             self._entries[pair] = [count, 0.0]
         else:
-            victim = min(self._entries, key=lambda p: (self._entries[p][0], repr(p)))
+            # Victim = min by (count, repr).  Scan counts numerically
+            # first and compute repr only for ties — the repr of every
+            # tracked pair per eviction was the ingest hot spot.
+            lowest = min(entry[0] for entry in self._entries.values())
+            victim = min(
+                (p for p, entry in self._entries.items() if entry[0] == lowest),
+                key=repr,
+            )
             floor = self._entries.pop(victim)[0]
             self._entries[pair] = [floor + count, floor]
             self.evictions += 1
@@ -342,6 +426,34 @@ class SketchCorrelationEstimator:
         """Fold every operation of ``trace`` into the estimate."""
         for operation in trace:
             self.observe(operation)
+
+    def observe_trace(self, trace: Iterable[Operation]) -> int:
+        """Fold a whole trace in one batched pass; returns ops ingested.
+
+        Byte-identical to :meth:`observe_all`: the per-operation pair
+        reduction is unchanged and both summaries see the same pairs
+        in the same stream order, but all Count-Min updates go through
+        the vectorized, hash-memoizing
+        :meth:`CountMinSketch.update_many` instead of one
+        hash-and-scatter per pair.  This is the ingest path the online
+        controller drives once per period.
+        """
+        pairs: list[Pair] = []
+        ops = 0
+        for operation in trace:
+            ops += 1
+            pairs.extend(operation_pairs(operation, self.mode, self.sizes))
+        self.sketch.update_many(pairs)
+        for pair in pairs:
+            self.heavy.add(pair)
+        if float(self._total_ops).is_integer() and self._total_ops + ops < 2**53:
+            self._total_ops += float(ops)
+        else:
+            total = self._total_ops
+            for _ in range(ops):
+                total += 1.0
+            self._total_ops = total
+        return ops
 
     def decay(self, factor: float) -> None:
         """Exponentially age both summaries and the operation total."""

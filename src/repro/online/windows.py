@@ -178,6 +178,22 @@ class DecayingEstimator:
         """Fold every operation of ``trace`` into the wrapped estimator."""
         self.estimator.observe_all(trace)
 
+    def observe_trace(self, trace: Iterable[Sequence[ObjectId]]) -> int:
+        """Fold a whole trace via the wrapped batched ingest, if any.
+
+        Estimators exposing ``observe_trace`` (the exact and sketch
+        backends both do) get the vectorized path; anything else falls
+        back to per-operation :meth:`observe` with the same result.
+        """
+        batched = getattr(self.estimator, "observe_trace", None)
+        if batched is not None:
+            return int(batched(trace))
+        ops = 0
+        for operation in trace:
+            self.estimator.observe(operation)
+            ops += 1
+        return ops
+
     def decay(self, factor: float) -> None:
         """Explicit extra decay (beyond the per-period factor)."""
         self.estimator.decay(factor)

@@ -25,7 +25,7 @@ import numpy as np
 from repro import obs
 from repro.core.lp import FractionalPlacement
 from repro.core.placement import Placement
-from repro.core.rounding import RoundingResult, round_fractional
+from repro.core.rounding import RoundingResult, round_trials_batched
 from repro.parallel.runner import TaskRunner, chunk_evenly, record_pool_metrics
 from repro.parallel.seeds import spawn_seed_sequences
 
@@ -48,21 +48,24 @@ def _run_trial_batch(
 
     Batching amortizes the per-task cost of pickling the fractional
     solution: a worker receives it once per batch, not once per trial.
+    The batch itself runs on the vectorized sweep of
+    :func:`~repro.core.rounding.round_trials_batched` — every trial
+    still draws from its own spawned seed, so the outcome is a pure
+    function of the global trial indices regardless of batching.
     Returns the outcomes plus the batch's wall-clock, which the parent
     folds into the pool-utilization gauge.
     """
     fractional, seed_seqs, start_index, tolerance = task
     started = time.perf_counter()
+    assignments, rounds = round_trials_batched(fractional, seed_seqs)
     outcomes = []
-    for offset, seed_seq in enumerate(seed_seqs):
-        placement, rounds = round_fractional(
-            fractional, np.random.default_rng(seed_seq)
-        )
+    for offset in range(len(seed_seqs)):
+        placement = Placement(fractional.problem, assignments[offset])
         outcomes.append(
             TrialOutcome(
                 index=start_index + offset,
                 cost=placement.communication_cost(),
-                rounds=rounds,
+                rounds=int(rounds[offset]),
                 feasible=tolerance is None or placement.is_feasible(tolerance),
                 assignment=placement.assignment,
             )

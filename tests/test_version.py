@@ -1,0 +1,36 @@
+"""The package version must be declared once, consistently.
+
+``repro.__version__`` (the runtime constant) and the packaging
+metadata must agree — they drifted once (1.2.0 vs 1.3.0) and the skew
+shipped.  When the package is installed, ``importlib.metadata`` is the
+source of truth; in a source checkout the test falls back to parsing
+``pyproject.toml`` directly.
+"""
+
+import importlib.metadata
+import re
+import tomllib
+from pathlib import Path
+
+import repro
+
+PYPROJECT = Path(__file__).resolve().parent.parent / "pyproject.toml"
+
+
+def _declared_version() -> str:
+    try:
+        return importlib.metadata.version("repro")
+    except importlib.metadata.PackageNotFoundError:
+        with PYPROJECT.open("rb") as fh:
+            return tomllib.load(fh)["project"]["version"]
+
+
+class TestVersionConsistency:
+    def test_runtime_matches_packaging_metadata(self):
+        assert repro.__version__ == _declared_version()
+
+    def test_version_is_semver(self):
+        assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
+
+    def test_version_exported(self):
+        assert "__version__" in repro.__all__
