@@ -185,3 +185,57 @@ def test_perf_sort_key_cold_cache(benchmark, study):
 
     total = benchmark(run_batch)
     assert total >= 0
+
+
+def test_perf_disabled_obs_overhead(scoped):
+    """Disabled-path obs calls add no measurable cost to the sweep.
+
+    Times ``round_trials_batched`` bare, then the identical sweep
+    wrapped in the full set of disabled observability helpers (span,
+    counter, histogram, journal record).  When instrumentation is off
+    each helper is one global read, so the wrapped sweep must run at
+    the bare sweep's speed — the assertion allows 25% plus a fixed
+    epsilon purely for scheduler noise at these sub-millisecond
+    scales.  Not a ``benchmark`` fixture test: the contract is the
+    *ratio* between the two variants, which pytest-benchmark cannot
+    assert on.
+    """
+    import time
+
+    from repro import obs
+
+    previous = obs.current()
+    obs.disable()
+    try:
+        fractional = solve_placement_lp(scoped)
+        seqs = np.random.SeedSequence(0).spawn(16)
+
+        def plain():
+            return round_trials_batched(fractional, seqs)
+
+        def instrumented():
+            with obs.span("sweep", trials=16):
+                assignments, rounds = round_trials_batched(fractional, seqs)
+            obs.counter("sweep.trials").inc(16)
+            obs.histogram("sweep.cost").observe(float(assignments[0, 0]))
+            obs.record("sweep.done", trials=16)
+            return assignments, rounds
+
+        def best_of(fn, repeats=7):
+            fn()  # warm-up
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        bare = best_of(plain)
+        wrapped = best_of(instrumented)
+        assert wrapped <= bare * 1.25 + 1e-3, (
+            f"disabled obs path added measurable overhead: "
+            f"bare {bare * 1e3:.3f}ms vs wrapped {wrapped * 1e3:.3f}ms"
+        )
+    finally:
+        if previous is not None:
+            obs.enable(previous)

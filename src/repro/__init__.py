@@ -75,7 +75,7 @@ from repro.exceptions import (
     TraceFormatError,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "CircuitOpenError",

@@ -538,7 +538,20 @@ def run_bench(
     for case in cases:
         obs.gauge(f"bench.{case.name}.speedup").set(case.speedup)
         obs.gauge(f"bench.{case.name}.fast_seconds").set(case.fast_s)
+        # Structured twin of the gauges: BENCH history accumulates as
+        # journal events, one per scenario, plus a run-level record.
+        obs.record(
+            "bench.case",
+            case=case.name,
+            tag=case.tag,
+            legacy_s=round(case.legacy_s, 6),
+            fast_s=round(case.fast_s, 6),
+            speedup=round(case.speedup, 3),
+            min_speedup=case.min_speedup,
+            equal=case.equal,
+        )
     obs.counter("bench.cases").inc(len(cases))
+    obs.record("bench.run", seed=seed, repeats=repeats, cases=len(cases))
 
     return BenchReport(
         seed=seed,

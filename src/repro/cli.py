@@ -9,10 +9,13 @@ Subcommands::
     repro chaos        — seeded fault-injection run with a degraded report
     repro online       — streaming control loop over a drifting query stream
     repro bench        — fast-vs-legacy benchmark suite (tracked baseline)
+    repro trace        — analyze a journal or metrics artifact from a run
 
-``place``, ``evaluate``, and ``experiment`` accept ``--metrics-out PATH``
-(write a machine-readable run report) and ``--trace`` (print the span
-tree); see ``docs/OBSERVABILITY.md``.
+Instrumented subcommands accept ``--metrics-out PATH`` (machine-readable
+run report), ``--trace`` (print the span tree), ``--trace-out PATH``
+(Chrome/Perfetto ``trace_event`` JSON), and ``--journal PATH``
+(deterministic flight-recorder JSONL, analyzed by ``repro trace``); see
+``docs/OBSERVABILITY.md``.
 
 ``place`` and ``evaluate`` plan through the Planner registry and accept
 ``--jobs N`` (deterministic parallel engine; same placement for every
@@ -26,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Sequence
 
@@ -117,6 +121,24 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
         "--trace",
         action="store_true",
         help="print the span tree of this run to stderr",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the span forest as Chrome trace_event JSON "
+            "(loads in chrome://tracing and ui.perfetto.dev)"
+        ),
+    )
+    parser.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record control-loop decisions to a flight-recorder journal "
+            "(JSONL; byte-identical across same-seed runs)"
+        ),
     )
 
 
@@ -380,6 +402,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print(f"error: cannot load baseline {args.compare}: {exc}", file=sys.stderr)
             return 2
         problems = report.compare(baseline, tolerance=args.tolerance)
+        obs.record(
+            "bench.compare",
+            baseline=args.compare,
+            tolerance=args.tolerance,
+            regressions=len(problems),
+        )
         if problems:
             for line in problems:
                 print(f"REGRESSION: {line}", file=sys.stderr)
@@ -387,6 +415,73 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"no regressions vs {args.compare}", file=sys.stderr)
     elif any(not case.equal for case in report.cases):
         return 1
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Analyze a journal or metrics artifact from an earlier run.
+
+    Auto-detects the artifact: a ``--journal`` JSONL file yields the
+    flight-recorder report (record counts, fallback/cache summaries,
+    online/chaos roll-ups) and, with ``--period``, the replan-explain
+    view; a ``--metrics-out`` JSON document yields per-phase time
+    attribution and the critical path from its span forest.
+    """
+    from repro.obs.analytics import (
+        explain_period,
+        render_journal_report,
+        render_trace_report,
+        spans_from_document,
+    )
+    from repro.obs.journal import JOURNAL_SCHEMA, load_journal
+
+    try:
+        with open(args.path, encoding="utf-8") as fh:
+            first_line = fh.readline()
+    except OSError as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        probe = json.loads(first_line) if first_line.strip() else None
+    except ValueError:
+        probe = None
+
+    if isinstance(probe, dict) and probe.get("schema") == JOURNAL_SCHEMA:
+        try:
+            records = load_journal(args.path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.period is not None:
+            try:
+                print(explain_period(records, args.period))
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        else:
+            print(render_journal_report(records))
+        return 0
+
+    try:
+        with open(args.path, encoding="utf-8") as fh:
+            document = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot parse {args.path}: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(document, dict) or "spans" not in document:
+        print(
+            f"error: {args.path} is neither a journal (JSONL with a "
+            f"{JOURNAL_SCHEMA} header) nor a metrics document with spans",
+            file=sys.stderr,
+        )
+        return 2
+    if args.period is not None:
+        print(
+            "error: --period needs a journal artifact, not a metrics document",
+            file=sys.stderr,
+        )
+        return 2
+    print(render_trace_report(spans_from_document(document)))
     return 0
 
 
@@ -542,6 +637,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_args(p)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "trace", help="analyze a journal or metrics artifact from a run"
+    )
+    p.add_argument("path", help="journal JSONL (--journal) or metrics JSON (--metrics-out)")
+    p.add_argument(
+        "--period",
+        type=int,
+        default=None,
+        metavar="N",
+        help="explain one online period's decision (journal artifacts only)",
+    )
+    p.set_defaults(func=cmd_trace)
     return parser
 
 
@@ -562,18 +670,35 @@ def _write_metrics(args: argparse.Namespace, inst: obs.Instrumentation) -> int:
     return 0
 
 
+def _write_artifact(path: str, payload: str, label: str) -> int:
+    try:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+    except OSError as exc:
+        print(f"error: cannot write {label} to {path}: {exc}", file=sys.stderr)
+        return 1
+    print(f"wrote {label} to {path}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    journal_out = getattr(args, "journal", None)
+    trace_out = getattr(args, "trace_out", None)
     instrumented = bool(
-        getattr(args, "metrics_out", None) or getattr(args, "trace", False)
+        getattr(args, "metrics_out", None)
+        or getattr(args, "trace", False)
+        or journal_out
+        or trace_out
     )
     if not instrumented:
         return args.func(args)
 
-    from repro.obs.export import render_span_tree
+    from repro.obs.export import render_span_tree, to_chrome_trace
 
-    inst = obs.enable(obs.Instrumentation())
+    journal = obs.Journal() if journal_out else None
+    inst = obs.enable(obs.Instrumentation(journal=journal))
     try:
         with obs.span(args.command):
             code = args.func(args)
@@ -583,8 +708,25 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(render_span_tree(inst.tracer), file=sys.stderr)
     if args.metrics_out:
         code = _write_metrics(args, inst) or code
+    if trace_out:
+        code = (
+            _write_artifact(
+                trace_out, to_chrome_trace(inst.tracer) + "\n", "Chrome trace"
+            )
+            or code
+        )
+    if journal_out:
+        assert journal is not None
+        code = _write_artifact(journal_out, journal.to_jsonl(), "journal") or code
     return code
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Reports are routinely piped into head/less; a closed pipe is
+        # not an error.  Detach stdout so interpreter shutdown does not
+        # raise again while flushing it.
+        sys.stdout = open(os.devnull, "w")
+        sys.exit(0)

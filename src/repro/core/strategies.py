@@ -228,14 +228,20 @@ def _finish(
     details: Any | None = None,
 ) -> PlanResult:
     cost = placement.communication_cost()
+    feasible = placement.is_feasible()
     obs.counter("planner.plans").inc()
     obs.histogram("planner.plan_seconds").observe(elapsed)
+    # Journaled without ``elapsed`` — wall-clock would break the
+    # byte-reproducibility the journal guarantees (see obs/journal.py).
+    obs.record(
+        "plan.result", planner=name, cost=round(cost, 9), feasible=feasible
+    )
     return PlanResult(
         placement=placement,
         cost=cost,
         planner=name,
         elapsed_seconds=elapsed,
-        diagnostics={"feasible": placement.is_feasible(), **(diagnostics or {})},
+        diagnostics={"feasible": feasible, **(diagnostics or {})},
         details=details,
     )
 

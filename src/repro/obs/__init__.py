@@ -1,32 +1,38 @@
-"""repro.obs — spans, metrics, and exportable run reports.
+"""repro.obs — spans, metrics, journal, and exportable run reports.
 
-The observability layer for the LPRR pipeline: a nesting span tracer,
-a metrics registry (counters, gauges, histograms with exact
-percentiles), and exporters (JSON, Prometheus text, console tree).
-Stdlib-only, thread-safe, and free when disabled — instrumented code
-pays one global read per call site until :func:`enable` is invoked.
+The observability layer for the LPRR pipeline: a nesting span tracer
+that survives the ``TaskRunner`` process boundary, a metrics registry
+(counters, gauges, histograms with exact or reservoir percentiles), a
+bounded deterministic flight-recorder journal, and exporters (JSON,
+Prometheus text, Chrome ``trace_event``, console tree).  Stdlib-only,
+thread-safe, and free when disabled — instrumented code pays one
+global read per call site until :func:`enable` is invoked.
 
 Typical use::
 
     from repro import obs
     from repro.obs.export import render_span_tree, to_json
 
-    inst = obs.enable()
+    inst = obs.enable(obs.Instrumentation(journal=obs.Journal()))
     result = LPRRPlanner(seed=0).plan(problem)
     print(render_span_tree(inst.tracer))
     print(to_json(inst.metrics, inst.tracer))
+    inst.journal.write("run.jsonl")
     obs.disable()
 
-See ``docs/OBSERVABILITY.md`` for the metric catalogue and span
-hierarchy.
+See ``docs/OBSERVABILITY.md`` for the record schema, metric catalogue,
+and span hierarchy.
 """
 
 from repro.obs.export import (
+    escape_label_value,
     metrics_to_dict,
     render_span_tree,
+    to_chrome_trace,
     to_json,
     to_prometheus,
 )
+from repro.obs.journal import JOURNAL_SCHEMA, Journal, load_journal
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.runtime import (
     Instrumentation,
@@ -37,16 +43,26 @@ from repro.obs.runtime import (
     gauge,
     histogram,
     is_enabled,
+    journal,
+    record,
     span,
     timed,
 )
-from repro.obs.span import Span, Tracer, detached_span
+from repro.obs.span import (
+    Span,
+    Tracer,
+    detached_span,
+    span_from_payload,
+    span_to_payload,
+)
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "Instrumentation",
+    "JOURNAL_SCHEMA",
+    "Journal",
     "MetricsRegistry",
     "Span",
     "Tracer",
@@ -55,13 +71,20 @@ __all__ = [
     "detached_span",
     "disable",
     "enable",
+    "escape_label_value",
     "gauge",
     "histogram",
     "is_enabled",
+    "journal",
+    "load_journal",
     "metrics_to_dict",
+    "record",
     "render_span_tree",
     "span",
+    "span_from_payload",
+    "span_to_payload",
     "timed",
+    "to_chrome_trace",
     "to_json",
     "to_prometheus",
 ]

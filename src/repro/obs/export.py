@@ -1,11 +1,15 @@
-"""Exporters: JSON document, Prometheus text format, console span tree.
+"""Exporters: JSON document, Prometheus text, Chrome trace, span tree.
 
-Three consumers, three formats:
+Four consumers, four formats:
 
 * :func:`to_json` — one machine-readable document per run, the
   ``--metrics-out`` payload (metrics summaries + full span forest);
 * :func:`to_prometheus` — the text exposition format scrapers expect
-  (histograms become summaries with ``quantile`` labels);
+  (histograms become summaries with ``quantile`` labels; label values
+  are escaped per the format);
+* :func:`to_chrome_trace` — the Chrome ``trace_event`` JSON that
+  ``chrome://tracing`` and Perfetto load, one timeline track per
+  worker process (the ``--trace-out`` payload);
 * :func:`render_span_tree` — a human-readable tree for the terminal,
   the ``--trace`` output.
 """
@@ -14,7 +18,7 @@ from __future__ import annotations
 
 import json
 import re
-from typing import Any
+from typing import Any, Iterable
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.span import Span, Tracer
@@ -22,18 +26,45 @@ from repro.obs.span import Span, Tracer
 _PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a Prometheus label value per the exposition format.
+
+    Backslash, double quote, and newline are the three characters the
+    format reserves inside quoted label values.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _prom_labels(labels: dict[str, str], extra: str = "") -> str:
+    """Render ``{k="v",...}`` with escaped values ('' when empty)."""
+    parts = [
+        f'{k}="{escape_label_value(str(v))}"' for k, v in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
 def metrics_to_dict(registry: MetricsRegistry) -> dict[str, Any]:
-    """Metrics grouped by kind, histogram values summarized."""
+    """Metrics grouped by kind, histogram values summarized.
+
+    Keys are instrument *keys* (name plus sorted labels), so two
+    instruments sharing a name but not labels do not collide.
+    """
     counters: dict[str, float] = {}
     gauges: dict[str, float] = {}
     histograms: dict[str, dict[str, float]] = {}
     for instrument in registry:
         if isinstance(instrument, Counter):
-            counters[instrument.name] = instrument.value
+            counters[instrument.key] = instrument.value
         elif isinstance(instrument, Gauge):
-            gauges[instrument.name] = instrument.value
+            gauges[instrument.key] = instrument.value
         elif isinstance(instrument, Histogram):
-            histograms[instrument.name] = instrument.summary()
+            histograms[instrument.key] = instrument.summary()
     return {
         "counters": dict(sorted(counters.items())),
         "gauges": dict(sorted(gauges.items())),
@@ -64,27 +95,39 @@ def to_prometheus(registry: MetricsRegistry) -> str:
     """Prometheus text exposition format (one sample set per metric).
 
     Counters get the conventional ``_total`` suffix; histograms are
-    exported as summaries (exact quantiles, since observations are
-    retained verbatim).
+    exported as summaries (quantiles exact unless the histogram runs
+    in capped-reservoir mode).  Instrument labels are rendered with
+    values escaped per the exposition format.
     """
     lines: list[str] = []
-    for instrument in sorted(registry, key=lambda i: i.name):
+    seen_types: set[str] = set()
+    for instrument in sorted(registry, key=lambda i: i.key):
         name = _prom_name(instrument.name)
+        labels = _prom_labels(instrument.labels)
         if isinstance(instrument, Counter):
             if not name.endswith("_total"):
                 name += "_total"
-            lines.append(f"# TYPE {name} counter")
-            lines.append(f"{name} {_fmt(instrument.value)}")
+            if name not in seen_types:
+                seen_types.add(name)
+                lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name}{labels} {_fmt(instrument.value)}")
         elif isinstance(instrument, Gauge):
-            lines.append(f"# TYPE {name} gauge")
-            lines.append(f"{name} {_fmt(instrument.value)}")
+            if name not in seen_types:
+                seen_types.add(name)
+                lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name}{labels} {_fmt(instrument.value)}")
         elif isinstance(instrument, Histogram):
-            lines.append(f"# TYPE {name} summary")
+            if name not in seen_types:
+                seen_types.add(name)
+                lines.append(f"# TYPE {name} summary")
             for q in (0.5, 0.9, 0.95, 0.99):
                 value = instrument.percentile(q * 100)
-                lines.append(f'{name}{{quantile="{_fmt(q)}"}} {_fmt(value)}')
-            lines.append(f"{name}_sum {_fmt(instrument.sum)}")
-            lines.append(f"{name}_count {instrument.count}")
+                quantile = _prom_labels(
+                    instrument.labels, extra=f'quantile="{_fmt(q)}"'
+                )
+                lines.append(f"{name}{quantile} {_fmt(value)}")
+            lines.append(f"{name}_sum{labels} {_fmt(instrument.sum)}")
+            lines.append(f"{name}_count{labels} {instrument.count}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -93,6 +136,79 @@ def _fmt(value: float) -> str:
     if float(value).is_integer():
         return str(int(value))
     return repr(float(value))
+
+
+def to_chrome_trace(
+    source: Tracer | Iterable[Span], indent: int | None = None
+) -> str:
+    """The span forest as Chrome ``trace_event`` JSON.
+
+    Loads in ``chrome://tracing`` and https://ui.perfetto.dev.  Each
+    span becomes one complete event (``ph: "X"``, microsecond ``ts`` /
+    ``dur`` relative to the earliest span).  Track assignment: spans on
+    the main process render on thread 0; a subtree rooted at a span
+    carrying a ``pid`` attribute — stitched back from a ``TaskRunner``
+    worker — renders on its own track named after that worker, so a
+    ``jobs=2`` run shows per-worker timelines side by side.
+    """
+    roots = list(source.roots) if isinstance(source, Tracer) else list(source)
+    starts = [s.start_time for root in roots for s in root.walk()]
+    origin = min(starts) if starts else 0.0
+
+    events: list[dict[str, Any]] = []
+    tids: dict[str, int] = {}
+
+    def tid_for(track: str) -> int:
+        if track not in tids:
+            tids[track] = len(tids)
+        return tids[track]
+
+    def emit(span: Span, track: str) -> None:
+        if "pid" in span.attributes:
+            track = f"worker pid={span.attributes['pid']}"
+        end = span.end_time if span.end_time is not None else span.start_time
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "pid": 0,
+                "tid": tid_for(track),
+                "ts": round((span.start_time - origin) * 1e6, 3),
+                "dur": round((end - span.start_time) * 1e6, 3),
+                "args": {
+                    k: v for k, v in sorted(span.attributes.items())
+                },
+            }
+        )
+        for child in span.children:
+            emit(child, track)
+
+    for root in roots:
+        emit(root, "main")
+
+    metadata: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "args": {"name": "repro"},
+        }
+    ]
+    for track, tid in tids.items():
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    document = {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+    }
+    return json.dumps(document, indent=indent, sort_keys=False)
 
 
 def _fmt_attr(value: Any) -> str:

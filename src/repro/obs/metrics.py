@@ -12,19 +12,40 @@ underscores; the JSON exporter keeps them verbatim.
 
 from __future__ import annotations
 
+import random
 import threading
-from typing import Any, Iterator
+import zlib
+from typing import Any, Iterator, Mapping
+
+
+def _label_key(name: str, labels: Mapping[str, str] | None) -> str:
+    """Canonical registry key: name plus sorted label pairs."""
+    if not labels:
+        return name
+    pairs = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{pairs}}}"
 
 
 class Counter:
-    """A monotonically increasing count (events, bytes, trials)."""
+    """A monotonically increasing count (events, bytes, trials).
 
-    __slots__ = ("name", "_value", "_lock")
+    ``labels`` are optional exposition-format key/value pairs (e.g.
+    ``{"case": "lp_assembly"}``); they distinguish instruments sharing
+    a name and are rendered — escaped — by the Prometheus exporter.
+    """
 
-    def __init__(self, name: str):
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: Mapping[str, str] | None = None):
         self.name = name
+        self.labels: dict[str, str] = dict(labels or {})
         self._value = 0.0
         self._lock = threading.Lock()
+
+    @property
+    def key(self) -> str:
+        """Registry/report key: name plus sorted labels."""
+        return _label_key(self.name, self.labels)
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be nonnegative)."""
@@ -44,12 +65,18 @@ class Counter:
 class Gauge:
     """A point-in-time value that can move either way (sizes, loads)."""
 
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("name", "labels", "_value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: Mapping[str, str] | None = None):
         self.name = name
+        self.labels: dict[str, str] = dict(labels or {})
         self._value = 0.0
         self._lock = threading.Lock()
+
+    @property
+    def key(self) -> str:
+        """Registry/report key: name plus sorted labels."""
+        return _label_key(self.name, self.labels)
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -72,30 +99,96 @@ class Gauge:
 
 
 class Histogram:
-    """A distribution with exact percentile summaries.
+    """A distribution with percentile summaries.
 
-    Observations are retained verbatim (the workloads here are at most
-    a few hundred thousand observations), so percentiles are exact —
-    computed with the linear-interpolation rule numpy uses by default.
+    Two retention modes:
+
+    * **Exact** (``reservoir=None``, the default): every observation is
+      retained verbatim and percentiles are exact — computed with the
+      linear-interpolation rule numpy uses by default.  Right for the
+      short planning/evaluation runs this repo mostly times.
+    * **Capped reservoir** (``reservoir=N``): exact until ``N``
+      observations, then classic reservoir sampling (Vitter's
+      Algorithm R) over a fixed-size sample, so memory stays bounded
+      under long ``repro online`` runs while percentiles stay unbiased
+      estimates.  ``count``/``sum``/``min``/``max``/``mean`` remain
+      exact in both modes — only the percentile sample is capped.
+
+    The reservoir's RNG is seeded from the histogram *name*, never the
+    wall clock, so a deterministic observation stream yields a
+    deterministic summary.
     """
 
-    __slots__ = ("name", "_values", "_sorted", "_lock")
+    __slots__ = (
+        "name",
+        "labels",
+        "reservoir",
+        "_values",
+        "_sorted",
+        "_lock",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+        "_rng",
+    )
 
-    def __init__(self, name: str):
+    def __init__(
+        self,
+        name: str,
+        reservoir: int | None = None,
+        labels: Mapping[str, str] | None = None,
+    ):
+        if reservoir is not None and reservoir < 1:
+            raise ValueError("reservoir must be at least 1 (or None)")
         self.name = name
+        self.labels: dict[str, str] = dict(labels or {})
+        self.reservoir = reservoir
         self._values: list[float] = []
         self._sorted = True
         self._lock = threading.Lock()
+        self._count = 0
+        self._sum = 0.0
+        self._min = 0.0
+        self._max = 0.0
+        self._rng = (
+            None
+            if reservoir is None
+            else random.Random(zlib.crc32(name.encode("utf-8")))
+        )
+
+    @property
+    def key(self) -> str:
+        """Registry/report key: name plus sorted labels."""
+        return _label_key(self.name, self.labels)
+
+    def _observe_locked(self, value: float) -> None:
+        self._count += 1
+        self._sum += value
+        if self._count == 1:
+            self._min = self._max = value
+        else:
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+        if self.reservoir is None or len(self._values) < self.reservoir:
+            if self._sorted and self._values and value < self._values[-1]:
+                self._sorted = False
+            self._values.append(value)
+            return
+        # Algorithm R: observation n survives with probability k/n.
+        assert self._rng is not None
+        slot = self._rng.randrange(self._count)
+        if slot < self.reservoir:
+            self._values[slot] = value
+            self._sorted = False
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         with self._lock:
-            if self._sorted and self._values and value < self._values[-1]:
-                self._sorted = False
-            self._values.append(float(value))
+            self._observe_locked(float(value))
 
     def observe_many(self, value: float, count: int) -> None:
-        """Record ``count`` identical observations in one append.
+        """Record ``count`` identical observations in one call.
 
         Equivalent to ``count`` :meth:`observe` calls — the batched
         replay path aggregates repeated queries and reports each
@@ -105,33 +198,54 @@ class Histogram:
             raise ValueError("count must be nonnegative")
         if count == 0:
             return
+        value = float(value)
         with self._lock:
-            if self._sorted and self._values and value < self._values[-1]:
-                self._sorted = False
-            self._values.extend([float(value)] * count)
+            if self.reservoir is None:
+                self._count += count
+                self._sum += value * count
+                if self._count == count:
+                    self._min = self._max = value
+                else:
+                    self._min = min(self._min, value)
+                    self._max = max(self._max, value)
+                if self._sorted and self._values and value < self._values[-1]:
+                    self._sorted = False
+                self._values.extend([value] * count)
+            else:
+                for _ in range(count):
+                    self._observe_locked(value)
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        return self._count
 
     @property
     def sum(self) -> float:
-        return float(sum(self._values))
+        return self._sum
 
     @property
     def min(self) -> float:
-        return min(self._values) if self._values else 0.0
+        return self._min
 
     @property
     def max(self) -> float:
-        return max(self._values) if self._values else 0.0
+        return self._max
 
     @property
     def mean(self) -> float:
-        return self.sum / self.count if self._values else 0.0
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def retained(self) -> int:
+        """Observations currently in the percentile sample."""
+        return len(self._values)
 
     def percentile(self, p: float) -> float:
-        """The ``p``-th percentile (0..100), linearly interpolated."""
+        """The ``p``-th percentile (0..100), linearly interpolated.
+
+        Exact in exact mode; an unbiased reservoir estimate once a
+        capped histogram has seen more than ``reservoir`` observations.
+        """
         if not 0.0 <= p <= 100.0:
             raise ValueError("percentile must be in [0, 100]")
         with self._lock:
@@ -170,6 +284,10 @@ class _NullInstrument:
 
     __slots__ = ()
     name = "noop"
+    key = "noop"
+    labels: dict[str, str] = {}
+    reservoir = None
+    retained = 0
 
     def inc(self, amount: float = 1.0) -> None:
         return None
@@ -209,34 +327,53 @@ NULL_INSTRUMENT = _NullInstrument()
 class MetricsRegistry:
     """Get-or-create home for named instruments.
 
-    Asking twice for the same name returns the same instrument;
-    asking for a name already registered as a different kind raises.
+    Asking twice for the same name *and labels* returns the same
+    instrument; asking for a key already registered as a different
+    kind raises.  Constructor-only options (a histogram's
+    ``reservoir``) apply when the call creates the instrument —
+    first creation wins, later calls just fetch.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
 
-    def _get(self, name: str, kind: type) -> Any:
+    def _get(
+        self,
+        name: str,
+        kind: type,
+        labels: Mapping[str, str] | None = None,
+        **options: Any,
+    ) -> Any:
+        key = _label_key(name, labels)
         with self._lock:
-            instrument = self._instruments.get(name)
+            instrument = self._instruments.get(key)
             if instrument is None:
-                instrument = self._instruments[name] = kind(name)
+                instrument = self._instruments[key] = kind(
+                    name, labels=labels, **options
+                )
             elif not isinstance(instrument, kind):
                 raise ValueError(
-                    f"metric {name!r} already registered as "
+                    f"metric {key!r} already registered as "
                     f"{type(instrument).__name__}, not {kind.__name__}"
                 )
             return instrument
 
-    def counter(self, name: str) -> Counter:
-        return self._get(name, Counter)
+    def counter(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> Counter:
+        return self._get(name, Counter, labels)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge)
+    def gauge(self, name: str, labels: Mapping[str, str] | None = None) -> Gauge:
+        return self._get(name, Gauge, labels)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get(name, Histogram)
+    def histogram(
+        self,
+        name: str,
+        reservoir: int | None = None,
+        labels: Mapping[str, str] | None = None,
+    ) -> Histogram:
+        return self._get(name, Histogram, labels, reservoir=reservoir)
 
     def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
         with self._lock:

@@ -20,6 +20,7 @@ from __future__ import annotations
 import threading
 from typing import Any
 
+from repro.obs.journal import Journal
 from repro.obs.metrics import (
     NULL_INSTRUMENT,
     Counter,
@@ -31,15 +32,24 @@ from repro.obs.span import NULL_SPAN, Span, Tracer, _OpenSpan
 
 
 class Instrumentation:
-    """One tracer + one metrics registry — the unit of enablement."""
+    """One tracer + one metrics registry (+ optional journal) — the
+    unit of enablement.
 
-    def __init__(self) -> None:
+    The journal is opt-in: most instrumented runs want spans and
+    metrics but not a decision log, and a journal-less unit keeps
+    :func:`record` a no-op even while tracing is on.
+    """
+
+    def __init__(self, journal: Journal | None = None) -> None:
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
+        self.journal = journal
 
     def reset(self) -> None:
         self.tracer.reset()
         self.metrics.reset()
+        if self.journal is not None:
+            self.journal.reset()
 
 
 _lock = threading.Lock()
@@ -130,25 +140,62 @@ def timed(name: str, **attributes: Any) -> _TimedSpan:
     return _TimedSpan(name, attributes)
 
 
-def counter(name: str) -> Counter:
+def journal() -> Journal | None:
+    """The active journal, or None when disabled / not journaling."""
+    active = _active
+    if active is None:
+        return None
+    return active.journal
+
+
+def record(kind: str, **fields: Any) -> dict | None:
+    """Append one event to the active journal (no-op otherwise).
+
+    The flight-recorder analogue of :func:`counter`: call sites stay
+    threaded through control loops permanently and cost one global
+    read plus a None check until a journal-carrying
+    :class:`Instrumentation` is enabled.  Payload rules are the
+    journal's: JSON-encodable values only, virtual time in ``t``,
+    never the wall clock (see :mod:`repro.obs.journal`).
+
+    Returns:
+        The stored record (with ``seq``), or None when not journaling.
+    """
+    active = _active
+    if active is None or active.journal is None:
+        return None
+    return active.journal.record(kind, **fields)
+
+
+def counter(name: str, labels: dict[str, str] | None = None) -> Counter:
     """The named counter (shared no-op when disabled)."""
     active = _active
     if active is None:
         return NULL_INSTRUMENT  # type: ignore[return-value]
-    return active.metrics.counter(name)
+    return active.metrics.counter(name, labels=labels)
 
 
-def gauge(name: str) -> Gauge:
+def gauge(name: str, labels: dict[str, str] | None = None) -> Gauge:
     """The named gauge (shared no-op when disabled)."""
     active = _active
     if active is None:
         return NULL_INSTRUMENT  # type: ignore[return-value]
-    return active.metrics.gauge(name)
+    return active.metrics.gauge(name, labels=labels)
 
 
-def histogram(name: str) -> Histogram:
-    """The named histogram (shared no-op when disabled)."""
+def histogram(
+    name: str,
+    reservoir: int | None = None,
+    labels: dict[str, str] | None = None,
+) -> Histogram:
+    """The named histogram (shared no-op when disabled).
+
+    ``reservoir`` bounds retained observations for long-running loops
+    (exact until full, then reservoir sampling); it applies only when
+    this call creates the histogram — see
+    :meth:`~repro.obs.metrics.MetricsRegistry.histogram`.
+    """
     active = _active
     if active is None:
         return NULL_INSTRUMENT  # type: ignore[return-value]
-    return active.metrics.histogram(name)
+    return active.metrics.histogram(name, reservoir=reservoir, labels=labels)

@@ -416,8 +416,31 @@ class OnlinePlanner:
         window = self.config.window_s if window_s is None else window_s
         decisions: list[PeriodDecision] = []
         with obs.span("online.run", nodes=self.config.num_nodes):
+            obs.record(
+                "online.run.start",
+                nodes=self.config.num_nodes,
+                window_s=round(window, 6),
+                seed=self.config.seed,
+                thresholds=self.config.thresholds.to_dict(),
+                budget_fraction=self.config.budget_fraction,
+                memory_cells=self.memory_cells,
+            )
             for period in tumbling_periods(stream, window):
                 decisions.append(self.observe_period(period))
+            obs.record(
+                "online.run.end",
+                periods=len(decisions),
+                replans=sum(1 for d in decisions if d.action == "replan"),
+                total_operations=sum(d.operations for d in decisions),
+                total_bytes_moved=round(
+                    sum(
+                        d.bytes_moved
+                        for d in decisions
+                        if d.action in ("replan", "migrate")
+                    ),
+                    6,
+                ),
+            )
         final_cost = decisions[-1].cost_estimate if decisions else 0.0
         final_mapping = (
             {} if self._assignment is None
@@ -461,6 +484,15 @@ class OnlinePlanner:
             else:
                 decision = self._maybe_replan(period, correlations)
             span.set(action=decision.action)
+            # The full decision — drift verdict, chosen planner, budget,
+            # bytes moved — is the flight-recorder record for this
+            # period, keyed to virtual stream time.  ``period`` is in
+            # the payload already, and the rounded to_dict() is exactly
+            # what the report serializes, so the journal stays as
+            # byte-reproducible as the report itself.
+            obs.record(
+                "online.period", t=round(period.start_s, 6), **decision.to_dict()
+            )
             self._window.advance_period()
         return decision
 

@@ -56,6 +56,15 @@ class DriftThresholds:
         if self.min_operations < 0:
             raise ValueError("min_operations must be nonnegative")
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (journaled at the start of an online run)."""
+        return {
+            "churn": self.churn,
+            "inflation": self.inflation,
+            "top_k": self.top_k,
+            "min_operations": self.min_operations,
+        }
+
 
 @dataclass(frozen=True)
 class DriftDecision:

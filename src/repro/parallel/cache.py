@@ -89,22 +89,25 @@ class PlanCache:
         except OSError:
             obs.counter("cache.misses").inc()
             obs.counter(f"cache.{kind}.misses").inc()
+            obs.record("cache.load", cache_kind=kind, key=key, outcome="miss")
             return None
         except ValueError:  # JSONDecodeError, UnicodeDecodeError
-            self._record_corrupt(kind)
+            self._record_corrupt(kind, key)
             return None
         if not isinstance(doc, dict):
-            self._record_corrupt(kind)
+            self._record_corrupt(kind, key)
             return None
         obs.counter("cache.hits").inc()
         obs.counter(f"cache.{kind}.hits").inc()
+        obs.record("cache.load", cache_kind=kind, key=key, outcome="hit")
         return doc
 
-    def _record_corrupt(self, kind: str) -> None:
+    def _record_corrupt(self, kind: str, key: str) -> None:
         obs.counter("cache.misses").inc()
         obs.counter(f"cache.{kind}.misses").inc()
         obs.counter("cache.corrupt").inc()
         obs.counter(f"cache.{kind}.corrupt").inc()
+        obs.record("cache.load", cache_kind=kind, key=key, outcome="corrupt")
 
     def store(self, kind: str, key: str, doc: dict) -> None:
         """Atomically persist ``doc`` under ``key``."""
@@ -128,6 +131,7 @@ class PlanCache:
             return  # best-effort: a read-only cache dir is not an error
         obs.counter("cache.stores").inc()
         obs.counter(f"cache.{kind}.stores").inc()
+        obs.record("cache.store", cache_kind=kind, key=key)
 
     def clear(self) -> int:
         """Delete every cached entry; returns the number removed."""

@@ -100,7 +100,9 @@ def solve_components(
         with obs.timed(
             "lprr.components.parallel", components=len(components), jobs=runner.jobs
         ) as span:
-            outcomes = runner.map(_solve_component, tasks)
+            outcomes = runner.map(
+                _solve_component, tasks, trace_label="components.worker"
+            )
         span.set(lower_bound=float(sum(o.lower_bound for o in outcomes)))
     finally:
         if owns_runner:

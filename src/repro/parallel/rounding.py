@@ -132,7 +132,9 @@ def parallel_round_best_of(
         with obs.timed(
             "rounding.parallel", trials=trials, jobs=runner.jobs
         ) as rounding_span:
-            results = runner.map(_run_trial_batch, tasks)
+            results = runner.map(
+                _run_trial_batch, tasks, trace_label="rounding.worker"
+            )
             outcomes = [o for batch_outcomes, _ in results for o in batch_outcomes]
             busy = sum(duration for _, duration in results)
             best = select_best(outcomes, capacity_tolerance)

@@ -15,11 +15,16 @@ planning run never fails because of worker-process mortality (metrics:
 ``pool.broken``, ``pool.inline_fallbacks``).
 
 Functions mapped across a pool must be picklable (module-level
-functions; bound arguments go in the item tuples).  Observability
-inside workers is a no-op — child processes never see the parent's
-registry — so worker functions report their own wall-clock in their
-return payload and the parent aggregates pool metrics via
-:func:`record_pool_metrics`.
+functions; bound arguments go in the item tuples).  Child processes
+never see the parent's registry, so cross-process *tracing* works by
+propagation instead: when the parent is traced and a ``trace_label``
+is passed to :meth:`TaskRunner.map`, each task is wrapped in
+:func:`_traced_task`, which enables a private instrumentation unit in
+the worker, runs the task under a root span, and ships the finished
+span tree back beside the result.  The parent stitches every worker
+tree under its open span (``Tracer.attach``), so one planning run
+yields one tree with per-worker timelines.  Pool-health metrics still
+aggregate via :func:`record_pool_metrics`.
 """
 
 from __future__ import annotations
@@ -31,6 +36,31 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Sequence
 
 from repro import obs
+from repro.obs.span import span_from_payload, span_to_payload
+
+
+def _traced_task(payload: tuple[Callable[[Any], Any], str, Any]) -> tuple[Any, dict]:
+    """Run one task in a worker under a private trace (picklable).
+
+    Enables a fresh :class:`~repro.obs.runtime.Instrumentation` local
+    to the worker process (saving and restoring whatever was active —
+    fork-started workers inherit the parent's global), runs the task
+    under a ``trace_label`` root span tagged with the worker ``pid``,
+    and returns ``(result, span_payload)``.  The pid tag is what the
+    Chrome exporter uses to give each worker its own track.
+    """
+    fn, label, item = payload
+    previous = obs.current()
+    inst = obs.enable(obs.Instrumentation())
+    try:
+        with inst.tracer.span(label, pid=os.getpid()) as root:
+            result = fn(item)
+    finally:
+        if previous is not None:
+            obs.enable(previous)
+        else:
+            obs.disable()
+    return result, span_to_payload(root)
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -94,23 +124,39 @@ class TaskRunner:
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
         return self._pool
 
-    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        trace_label: str | None = None,
+    ) -> list[Any]:
         """Apply ``fn`` to every item, preserving item order.
 
         With one worker (or at most one item) this is a plain inline
         loop; otherwise tasks are distributed across the pool.  Either
         way the result list aligns index-for-index with ``items``.
+
+        ``trace_label`` opts the batch into cross-process tracing:
+        when the parent is traced and the batch actually dispatches to
+        the pool, each worker's spans come back under a root span with
+        that label and are stitched into the parent's trace tree.
+        Untraced runs pay nothing — tasks ship unwrapped.
         """
         tasks = list(items)
         obs.gauge("parallel.jobs").set(self.jobs)
         obs.counter("parallel.tasks").inc(len(tasks))
         if self.jobs == 1 or len(tasks) <= 1:
             return [fn(task) for task in tasks]
+        traced = trace_label is not None and obs.is_enabled()
+        pool_fn: Callable[[Any], Any] = _traced_task if traced else fn
+        pool_tasks = (
+            [(fn, trace_label, task) for task in tasks] if traced else tasks
+        )
         backoff = self.retry_backoff_s
         for attempt in range(self.pool_retries + 1):
             pool = self._ensure_pool()
             try:
-                return list(pool.map(fn, tasks))
+                outputs = list(pool.map(pool_fn, pool_tasks))
             except BrokenProcessPool:
                 # A dead worker poisons the whole executor; results of
                 # the batch are unrecoverable, so retry from scratch.
@@ -119,8 +165,19 @@ class TaskRunner:
                 if attempt < self.pool_retries and backoff > 0:
                     self._sleep(backoff)
                     backoff *= 2
+                continue
+            if not traced:
+                return outputs
+            active = obs.current()
+            results = []
+            for result, span_payload in outputs:
+                results.append(result)
+                if active is not None:
+                    active.tracer.attach(span_from_payload(span_payload))
+            return results
         # The pool keeps dying (resource exhaustion, unpicklable crash):
-        # serve this batch inline so planning completes, degraded.
+        # serve this batch inline so planning completes, degraded.  The
+        # unwrapped ``fn`` runs in-process, under the parent's own trace.
         obs.counter("pool.inline_fallbacks").inc()
         return [fn(task) for task in tasks]
 

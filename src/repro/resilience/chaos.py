@@ -180,6 +180,16 @@ def run_chaos(
     with obs.span(
         "chaos.run", operations=len(ops), events=len(schedule)
     ) as run_span:
+        obs.record(
+            "chaos.start",
+            operations=len(ops),
+            events=len(schedule),
+            planner=config.planner,
+            mode=config.mode,
+            replicas=config.replicas,
+            repair=config.repair,
+            seed=seed,
+        )
         result = plan(problem, config.planner, config.plan_config)
         current = result.placement
         replicas = min(config.replicas, problem.num_nodes)
@@ -198,6 +208,13 @@ def run_chaos(
         for epoch in schedule.epochs(len(ops)):
             with obs.span("chaos.epoch", index=epoch.index):
                 for event in epoch.events:
+                    obs.record(
+                        "chaos.fault",
+                        t=event.time,
+                        epoch=epoch.index,
+                        fault=event.kind,
+                        nodes=list(event.nodes),
+                    )
                     if event.kind == "crash":
                         for k in event.nodes:
                             cluster.fail(node_ids[k])
@@ -232,6 +249,14 @@ def run_chaos(
                     repair_moves += outcome.plan.num_moves
                     repair_bytes += outcome.plan.bytes_moved
 
+                obs.record(
+                    "chaos.epoch",
+                    t=epoch.start,
+                    epoch=epoch.index,
+                    down=sorted(view.down),
+                    unserved=sum(1 for r in results if not r.served),
+                    repaired=repair_doc is not None,
+                )
                 epochs.append(
                     EpochReport(
                         index=epoch.index,
@@ -264,6 +289,14 @@ def run_chaos(
             availability_replicated=avail_repl,
         )
         obs.counter("chaos.runs").inc()
+        obs.record(
+            "chaos.end",
+            epochs=len(epochs),
+            availability_single=round(avail_single, 9),
+            availability_replicated=round(avail_repl, 9),
+            repair_moves=repair_moves,
+            repair_bytes=round(repair_bytes, 9),
+        )
 
     return DegradedReport(
         seed=seed,

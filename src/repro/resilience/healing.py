@@ -172,6 +172,7 @@ class CircuitBreaker:
         """Note a successful call; closes the breaker."""
         if self._state != self.CLOSED:
             obs.counter("circuit.closed").inc()
+            obs.record("circuit.closed", circuit=self.name)
         self._failures = 0
         self._state = self.CLOSED
 
@@ -181,6 +182,11 @@ class CircuitBreaker:
         if self._state == self.HALF_OPEN or self._failures >= self.failure_threshold:
             if self._state != self.OPEN:
                 obs.counter("circuit.opened").inc()
+                obs.record(
+                    "circuit.opened",
+                    circuit=self.name,
+                    failures=self._failures,
+                )
             self._state = self.OPEN
             self._opened_at = self._clock()
 
@@ -302,6 +308,10 @@ def plan_with_fallbacks(
                 chain.append(
                     FallbackStep(step, "skipped", "circuit open")
                 )
+                obs.record(
+                    "plan.attempt", step=step, outcome="skipped",
+                    detail="circuit open",
+                )
                 return None
             guarded = lambda: breaker.call(run)  # noqa: E731
         try:
@@ -311,8 +321,13 @@ def plan_with_fallbacks(
                 FallbackStep(step, "failed", f"{type(exc).__name__}: {exc}")
             )
             obs.counter("planner.fallbacks").inc()
+            obs.record(
+                "plan.attempt", step=step, outcome="failed",
+                detail=f"{type(exc).__name__}: {exc}",
+            )
             return None
         chain.append(FallbackStep(step, "ok"))
+        obs.record("plan.attempt", step=step, outcome="ok", detail="")
         return result
 
     with obs.span("plan.resilient", objects=problem.num_objects) as span:
@@ -355,8 +370,20 @@ def plan_with_fallbacks(
                 chain.append(FallbackStep(step, "skipped", "already planned"))
         if result is None:
             obs.counter("planner.fallback.exhausted").inc()
+            obs.record(
+                "plan.fallback",
+                delegate=None,
+                degraded=True,
+                chain=[s.to_dict() for s in chain],
+            )
             raise chain_error(chain)
         span.set(delegate=result.planner, attempts=len(chain))
+        obs.record(
+            "plan.fallback",
+            delegate=result.planner,
+            degraded=result.planner != "lprr",
+            chain=[s.to_dict() for s in chain],
+        )
 
     diagnostics: dict[str, Any] = {
         **result.diagnostics,

@@ -310,3 +310,277 @@ class TestDisabledOverhead:
         result = LPRRPlanner(seed=0).plan(small_problem())
         assert result.lp_stats.solve_seconds > 0  # timing still real
         assert obs.current() is None
+
+
+class TestSpanExceptions:
+    """Spans must close and nest correctly when traced blocks raise."""
+
+    def test_span_closes_and_pops_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom") as sp:
+                raise RuntimeError("kaboom")
+        assert sp.end_time is not None
+        assert tracer.current() is None  # stack fully unwound
+        assert [s.name for s in tracer.roots] == ["boom"]
+
+    def test_sibling_after_exception_is_not_a_child(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with pytest.raises(ValueError):
+                with tracer.span("failed"):
+                    raise ValueError
+            with tracer.span("recovered"):
+                pass
+        (root,) = tracer.roots
+        assert [c.name for c in root.children] == ["failed", "recovered"]
+        assert all(not c.children for c in root.children)
+
+    def test_timed_closes_on_exception_enabled_and_disabled(self):
+        with pytest.raises(KeyError):
+            with obs.timed("detached") as sp:
+                raise KeyError
+        assert sp.end_time is not None
+        inst = obs.enable(obs.Instrumentation())
+        with pytest.raises(KeyError):
+            with obs.timed("attached") as sp:
+                raise KeyError
+        assert sp.end_time is not None
+        assert inst.tracer.current() is None
+
+    def test_nested_exception_unwinds_whole_stack(self):
+        inst = obs.enable(obs.Instrumentation())
+        with pytest.raises(RuntimeError):
+            with obs.span("a"):
+                with obs.span("b"):
+                    with obs.span("c"):
+                        raise RuntimeError
+        assert inst.tracer.current() is None
+        (root,) = inst.tracer.roots
+        assert all(s.end_time is not None for s in root.walk())
+
+
+class TestHistogramReservoir:
+    """Capped-reservoir mode: bounded memory, exact aggregates."""
+
+    def test_exact_mode_is_default_and_unbounded(self):
+        hist = Histogram("h")
+        for i in range(5000):
+            hist.observe(i)
+        assert hist.reservoir is None
+        assert hist.retained == 5000
+
+    def test_reservoir_bounds_retained_observations(self):
+        hist = Histogram("h", reservoir=100)
+        for i in range(100_000):
+            hist.observe(float(i))
+        assert hist.retained == 100  # the memory-bound regression check
+        assert hist.count == 100_000
+
+    def test_aggregates_stay_exact_past_the_cap(self):
+        hist = Histogram("h", reservoir=10)
+        values = [float(i) for i in range(1000)]
+        for v in values:
+            hist.observe(v)
+        assert hist.count == 1000
+        assert hist.sum == sum(values)
+        assert hist.min == 0.0
+        assert hist.max == 999.0
+        assert hist.mean == pytest.approx(sum(values) / 1000)
+
+    def test_exact_until_the_cap_is_reached(self):
+        hist = Histogram("h", reservoir=50)
+        values = list(np.random.default_rng(0).normal(size=50))
+        for v in values:
+            hist.observe(float(v))
+        assert hist.percentile(50) == pytest.approx(
+            float(np.percentile(values, 50))
+        )
+
+    def test_reservoir_percentiles_are_reasonable_estimates(self):
+        hist = Histogram("h", reservoir=500)
+        for v in np.random.default_rng(1).uniform(0, 100, size=50_000):
+            hist.observe(float(v))
+        assert hist.percentile(50) == pytest.approx(50.0, abs=10.0)
+        assert hist.percentile(90) == pytest.approx(90.0, abs=10.0)
+
+    def test_reservoir_is_deterministic_per_name(self):
+        def fill(name):
+            hist = Histogram(name, reservoir=20)
+            for i in range(2000):
+                hist.observe(float(i))
+            return hist.summary()
+
+        assert fill("same") == fill("same")
+
+    def test_observe_many_matches_repeated_observe(self):
+        one = Histogram("h", reservoir=16)
+        many = Histogram("h", reservoir=16)
+        for v in (1.0, 2.0, 3.0):
+            for _ in range(100):
+                one.observe(v)
+            many.observe_many(v, 100)
+        assert one.summary() == many.summary()
+
+    def test_reservoir_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("h", reservoir=0)
+
+    def test_runtime_helper_passes_reservoir_through(self):
+        inst = obs.enable(obs.Instrumentation())
+        hist = obs.histogram("bounded", reservoir=5)
+        for i in range(50):
+            hist.observe(i)
+        assert inst.metrics.histogram("bounded").retained == 5
+
+
+class TestLabels:
+    def test_labelled_instruments_are_distinct(self):
+        registry = MetricsRegistry()
+        a = registry.counter("runs", labels={"case": "a"})
+        b = registry.counter("runs", labels={"case": "b"})
+        bare = registry.counter("runs")
+        a.inc(1)
+        b.inc(2)
+        bare.inc(4)
+        assert a is registry.counter("runs", labels={"case": "a"})
+        assert (a.value, b.value, bare.value) == (1.0, 2.0, 4.0)
+        grouped = metrics_to_dict(registry)
+        assert grouped["counters"] == {
+            "runs": 4.0,
+            "runs{case=a}": 1.0,
+            "runs{case=b}": 2.0,
+        }
+
+    def test_prometheus_renders_labels(self):
+        registry = MetricsRegistry()
+        registry.gauge("speedup", labels={"case": "lp", "tag": "plan"}).set(3)
+        text = to_prometheus(registry)
+        assert 'speedup{case="lp",tag="plan"} 3' in text
+
+    def test_prometheus_escapes_hostile_label_values(self):
+        from repro.obs.export import escape_label_value
+
+        hostile = 'quote:" backslash:\\ newline:\nend'
+        assert escape_label_value(hostile) == (
+            'quote:\\" backslash:\\\\ newline:\\nend'
+        )
+        registry = MetricsRegistry()
+        registry.counter("evil", labels={"v": hostile}).inc()
+        text = to_prometheus(registry)
+        # The exposition format is line-oriented: an unescaped newline
+        # would split the sample across lines and corrupt the scrape.
+        sample_lines = [l for l in text.splitlines() if l.startswith("evil")]
+        assert len(sample_lines) == 1
+        assert '\\n' in sample_lines[0]
+        assert '\\"' in sample_lines[0]
+        assert '\\\\' in sample_lines[0]
+        hist = MetricsRegistry()
+        hist.histogram("h", labels={"v": 'a"b'}).observe(1.0)
+        hist_text = to_prometheus(hist)
+        assert 'v="a\\"b",quantile="0.5"' in hist_text
+
+
+class TestSpanPayloads:
+    def test_round_trip_preserves_tree_and_timeline(self):
+        from repro.obs.span import span_from_payload, span_to_payload
+
+        tracer = Tracer()
+        with tracer.span("root", pid=42) as root:
+            with tracer.span("child", step=1):
+                pass
+        payload = span_to_payload(root)
+        rebuilt = span_from_payload(payload)
+        assert rebuilt.name == "root"
+        assert rebuilt.attributes == {"pid": 42}
+        assert rebuilt.start_time == root.start_time
+        assert rebuilt.end_time == root.end_time
+        (child,) = rebuilt.children
+        assert child.name == "child"
+        assert child.start_time >= rebuilt.start_time
+
+    def test_payload_is_json_safe(self):
+        from repro.obs.span import span_to_payload
+
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            pass
+        json.dumps(span_to_payload(root))  # must not raise
+
+    def test_legacy_payload_without_start_end_loads(self):
+        from repro.obs.span import span_from_payload
+
+        span = span_from_payload(
+            {"name": "old", "duration_seconds": 1.5, "attributes": {}, "children": []}
+        )
+        assert span.duration == 1.5
+
+    def test_attach_grafts_under_current_span(self):
+        from repro.obs.span import span_from_payload, span_to_payload
+
+        worker = Tracer()
+        with worker.span("worker-root"):
+            pass
+        payload = span_to_payload(worker.roots[0])
+        parent = Tracer()
+        with parent.span("parent"):
+            parent.attach(span_from_payload(payload))
+        (root,) = parent.roots
+        assert [c.name for c in root.children] == ["worker-root"]
+
+    def test_attach_without_open_span_becomes_root(self):
+        from repro.obs.span import Span
+
+        tracer = Tracer()
+        orphan = Span("orphan")
+        orphan.finish()
+        tracer.attach(orphan)
+        assert [s.name for s in tracer.roots] == ["orphan"]
+
+
+class TestChromeTrace:
+    def _forest(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("local"):
+                pass
+            with tracer.span("rounding.worker", pid=1234):
+                with tracer.span("inner"):
+                    pass
+        return tracer
+
+    def test_document_shape(self):
+        from repro.obs.export import to_chrome_trace
+
+        doc = json.loads(to_chrome_trace(self._forest()))
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {
+            "root", "local", "rounding.worker", "inner",
+        }
+        for e in complete:
+            assert e["ts"] >= 0 and e["dur"] >= 0 and e["pid"] == 0
+
+    def test_worker_subtree_gets_its_own_track(self):
+        from repro.obs.export import to_chrome_trace
+
+        doc = json.loads(to_chrome_trace(self._forest()))
+        events = doc["traceEvents"]
+        by_name = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert by_name["root"]["tid"] == by_name["local"]["tid"]
+        worker_tid = by_name["rounding.worker"]["tid"]
+        assert worker_tid != by_name["root"]["tid"]
+        assert by_name["inner"]["tid"] == worker_tid  # inherits the track
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in events
+            if e["name"] == "thread_name"
+        }
+        assert names[worker_tid] == "worker pid=1234"
+
+    def test_empty_forest_still_valid(self):
+        from repro.obs.export import to_chrome_trace
+
+        doc = json.loads(to_chrome_trace([]))
+        assert [e["name"] for e in doc["traceEvents"]] == ["process_name"]

@@ -476,3 +476,90 @@ class TestCacheCorruption:
         assert not result.from_cache
         for entry in tmp_path.rglob("*.json"):
             json.loads(entry.read_text(encoding="utf-8"))  # healed
+
+
+class TestCrossProcessTracing:
+    """Worker spans ship back in task payloads and stitch into one tree."""
+
+    def test_traced_map_stitches_worker_spans(self):
+        from repro.parallel import TaskRunner
+
+        inst = obs.enable(obs.Instrumentation())
+        try:
+            runner = TaskRunner(jobs=2)
+            with inst.tracer.span("parent"):
+                results = runner.map(
+                    _double, [1, 2, 3], trace_label="test.worker"
+                )
+        finally:
+            obs.disable()
+        assert results == [2, 4, 6]
+        (root,) = inst.tracer.roots  # a single stitched tree
+        workers = [c for c in root.children if c.name == "test.worker"]
+        assert len(workers) == 3
+        for span in workers:
+            assert isinstance(span.attributes.get("pid"), int)
+            assert span.end_time is not None
+            assert span.duration >= 0.0
+        # at least two distinct worker processes served the three tasks
+        assert len({s.attributes["pid"] for s in workers}) >= 1
+
+    def test_stitched_tree_exports_worker_tracks(self):
+        from repro.obs.export import to_chrome_trace
+        from repro.parallel import TaskRunner
+
+        inst = obs.enable(obs.Instrumentation())
+        try:
+            runner = TaskRunner(jobs=2)
+            with inst.tracer.span("parent"):
+                runner.map(_double, [1, 2], trace_label="test.worker")
+        finally:
+            obs.disable()
+        doc = json.loads(to_chrome_trace(inst.tracer))
+        tracks = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["name"] == "thread_name"
+        }
+        assert "main" in tracks
+        assert any(t.startswith("worker pid=") for t in tracks)
+
+    def test_untraced_map_attaches_nothing(self):
+        from repro.parallel import TaskRunner
+
+        inst = obs.enable(obs.Instrumentation())
+        try:
+            runner = TaskRunner(jobs=2)
+            assert runner.map(_double, [1, 2]) == [2, 4]
+        finally:
+            obs.disable()
+        assert inst.tracer.roots == []
+
+    def test_trace_label_without_obs_is_plain(self):
+        from repro.parallel import TaskRunner
+
+        obs.disable()
+        runner = TaskRunner(jobs=2)
+        assert runner.map(_double, [4], trace_label="test.worker") == [8]
+
+    def test_inline_fallback_still_returns_results(self):
+        inst = obs.enable(obs.Instrumentation())
+        try:
+            runner = TestRunnerResilience()._rigged_runner(
+                failures=10, pool_retries=0
+            )
+            results = runner.map(_double, [1, 2], trace_label="test.worker")
+        finally:
+            obs.disable()
+        assert results == [2, 4]
+
+    def test_parallel_rounding_produces_worker_spans(self, fractional):
+        inst = obs.enable(obs.Instrumentation())
+        try:
+            with inst.tracer.span("place"):
+                parallel_round_best_of(fractional, trials=4, root_seed=0, jobs=2)
+        finally:
+            obs.disable()
+        (root,) = inst.tracer.roots
+        names = [s.name for s in root.walk()]
+        assert "rounding.worker" in names
