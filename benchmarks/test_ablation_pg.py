@@ -1,0 +1,72 @@
+"""Ablation: placement-group planning vs exact per-object LPRR.
+
+Placement-group indirection (``docs/SCALE.md``) plans ``K`` hashed
+groups plus the top-``M`` important objects instead of every object,
+which bounds LP size independently of the real object count.  The
+coarsening is lossy — intra-group pairs vanish from the objective and
+tail objects are forced to co-locate group-wise — so the question is
+what that costs at a scale where exact per-object LPRR is still
+feasible and can be measured directly.
+
+The study's search problem is capacity-unconstrained, where exact LPRR
+separates every pair for zero cost and a cost *ratio* is meaningless;
+this bench instead uses the capacitated synthetic scenario (the chaos
+workload), where finite capacities force conflict and both planners pay
+a measurable communication cost.  The paper's skew is why the PG plan
+stays close: the important objects (kept exact) carry most of the pair
+mass, so the hashed tail loses little.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core.strategies import PlanConfig, PlanScope, plan
+from repro.resilience import synthetic_scenario
+
+NUM_OBJECTS = 400
+NUM_NODES = 8
+NUM_OPERATIONS = 300
+GROUPS = 128
+IMPORTANT = 192
+
+
+def test_pg_vs_exact_lprr(benchmark, study):
+    problem, _ = synthetic_scenario(
+        num_objects=NUM_OBJECTS,
+        num_nodes=NUM_NODES,
+        num_operations=NUM_OPERATIONS,
+        seed=study.config.seed,
+    )
+    seed = study.config.seed
+
+    def run():
+        exact = plan(problem, "lprr", PlanConfig(seed=seed))
+        pg = plan(
+            problem,
+            "lprr:pg",
+            PlanConfig(
+                scope=PlanScope.pg(groups=GROUPS, important=IMPORTANT),
+                seed=seed,
+            ),
+        )
+        return {
+            "exact lprr": (problem.num_objects, exact.cost),
+            "lprr:pg": (pg.diagnostics["coarse_objects"], pg.cost),
+        }
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        "\n"
+        + format_table(
+            ["planner", "LP objects", "communication cost"],
+            [[name, size, cost] for name, (size, cost) in rows.items()],
+            float_format="{:.4f}",
+        )
+    )
+
+    exact_cost = rows["exact lprr"][1]
+    pg_cost = rows["lprr:pg"][1]
+    # The synthetic scenario spreads pair mass fairly evenly (unlike
+    # the paper's Zipf logs), so the tail is as unfriendly to grouping
+    # as it gets; even here the PG plan — optimizing ~20% fewer LP
+    # objects, and unboundedly fewer at bench scale — must land within
+    # 25% of the exact per-object plan.
+    assert pg_cost <= 1.25 * exact_cost + 1e-9

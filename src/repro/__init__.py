@@ -30,10 +30,12 @@ from repro.core import (
     LPStats,
     PairData,
     Placement,
+    PlacementMap,
     PlacementProblem,
     PlanConfig,
     Planner,
     PlanResult,
+    PlanScope,
     ResourceSpec,
     RoundingResult,
     available_planners,
@@ -65,6 +67,7 @@ from repro.core import (
     union_largest_correlations,
 )
 from repro import obs
+from repro.pg import PGMap
 from repro.exceptions import (
     CircuitOpenError,
     InfeasibleProblemError,
@@ -75,7 +78,7 @@ from repro.exceptions import (
     TraceFormatError,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "CircuitOpenError",
@@ -88,12 +91,15 @@ __all__ = [
     "Migration",
     "MigrationPlan",
     "LPStats",
+    "PGMap",
     "PairData",
     "Placement",
     "PlacementError",
+    "PlacementMap",
     "PlacementProblem",
     "PlanConfig",
     "PlanResult",
+    "PlanScope",
     "Planner",
     "ResourceSpec",
     "ProblemDefinitionError",

@@ -22,6 +22,12 @@ Scenarios, by pipeline stage:
   (:meth:`~repro.online.sketch.CountMinSketch.update_many`) and the
   batched estimator trace path
   (:meth:`~repro.online.sketch.SketchCorrelationEstimator.observe_trace`).
+* ``pg`` — placement-group indirection at scale: plans one million
+  objects through a small PG map (``lprr:pg``; see ``docs/SCALE.md``)
+  and times the vectorized map expansion
+  (:func:`~repro.pg.expand_assignment`) against the per-object
+  ``assign`` loop.  Not part of the committed baseline — the plan wall
+  time is pinned in ``detail`` for the 1M-objects acceptance check.
 
 Run via ``repro bench``; see ``docs/PERFORMANCE.md``.
 """
@@ -60,7 +66,7 @@ SCHEMA = "repro.bench/v1"
 DEFAULT_ARTIFACT = "BENCH_5.json"
 
 #: Scenario tags in pipeline order.
-TAGS = ("plan", "evaluate", "online-ingest")
+TAGS = ("plan", "evaluate", "online-ingest", "pg")
 
 
 @dataclass(frozen=True)
@@ -499,6 +505,86 @@ def _bench_estimator_ingest(study: CaseStudy, repeats: int) -> BenchCase:
     )
 
 
+def _pg_problem(seed: int, num_objects: int = 1_000_000) -> PlacementProblem:
+    """A million-object CCA instance, built through the raw constructor.
+
+    The dict-based :meth:`PlacementProblem.build` is comfortable at
+    thousands of objects but wasteful at a million; the raw array
+    constructor is the supported path at this scale (``docs/SCALE.md``).
+    """
+    rng = np.random.default_rng(seed)
+    num_nodes, num_pairs = 8, 20_000
+    object_ids = [f"o{i:07d}" for i in range(num_objects)]
+    sizes = rng.integers(1, 50, size=num_objects).astype(float)
+    raw = rng.integers(0, num_objects, size=(4 * num_pairs, 2))
+    raw = raw[raw[:, 0] != raw[:, 1]]
+    lo = np.minimum(raw[:, 0], raw[:, 1])
+    hi = np.maximum(raw[:, 0], raw[:, 1])
+    _, keep = np.unique(lo * num_objects + hi, return_index=True)
+    keep = np.sort(keep)[:num_pairs]
+    pair_index = np.stack([lo[keep], hi[keep]], axis=1)
+    correlations = rng.uniform(0.01, 1.0, size=pair_index.shape[0])
+    pair_costs = np.minimum(sizes[pair_index[:, 0]], sizes[pair_index[:, 1]])
+    capacity = 2.5 * float(sizes.sum()) / num_nodes
+    return PlacementProblem(
+        object_ids,
+        sizes,
+        list(range(num_nodes)),
+        np.full(num_nodes, capacity),
+        pair_index,
+        correlations,
+        pair_costs,
+    )
+
+
+def _bench_pg_expand(seed: int, repeats: int) -> BenchCase:
+    from repro.core.strategies import PlanConfig, PlanScope, plan
+    from repro.pg import build_grouping, expand_assignment
+
+    groups, important = 128, 128
+    problem = _pg_problem(seed)
+    config = PlanConfig(
+        scope=PlanScope.pg(groups=groups, important=important),
+        seed=seed,
+        use_cache=False,
+    )
+    plan_started = time.perf_counter()
+    result = plan(problem, "lprr:pg", config)
+    plan_s = time.perf_counter() - plan_started
+    pg_map = result.details
+    grouping = build_grouping(problem, groups, important=important)
+
+    def legacy_run():
+        return np.fromiter(
+            (pg_map.assign(obj) for obj in problem.object_ids),
+            dtype=np.int64,
+            count=problem.num_objects,
+        )
+
+    fast = expand_assignment(grouping, pg_map)
+    equal = bool(np.array_equal(legacy_run(), fast))
+    legacy_s = _best_of(repeats, legacy_run)
+    fast_s = _best_of(repeats, lambda: expand_assignment(grouping, pg_map))
+    return BenchCase(
+        name="pg_expand",
+        tag="pg",
+        legacy_s=legacy_s,
+        fast_s=fast_s,
+        speedup=legacy_s / fast_s,
+        min_speedup=None,
+        equal=equal,
+        detail={
+            "objects": problem.num_objects,
+            "nodes": problem.num_nodes,
+            "pairs": int(problem.pair_index.shape[0]),
+            "groups": groups,
+            "important": important,
+            "plan_s": round(plan_s, 3),
+            "plan_cost": round(result.cost, 3),
+        },
+    )
+
+
 def run_bench(
     seed: int = 0, repeats: int = 3, tags: Iterable[str] | None = None
 ) -> BenchReport:
@@ -534,6 +620,8 @@ def run_bench(
         if "online-ingest" in selected:
             cases.append(_bench_cm_ingest(study, repeats))
             cases.append(_bench_estimator_ingest(study, repeats))
+        if "pg" in selected:
+            cases.append(_bench_pg_expand(seed, repeats))
 
     for case in cases:
         obs.gauge(f"bench.{case.name}.speedup").set(case.speedup)

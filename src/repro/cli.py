@@ -8,6 +8,7 @@ Subcommands::
     repro experiment   — regenerate a paper figure (fig2/fig5/fig6/fig7/all)
     repro chaos        — seeded fault-injection run with a degraded report
     repro online       — streaming control loop over a drifting query stream
+    repro pg           — plan a synthetic scenario through placement groups
     repro bench        — fast-vs-legacy benchmark suite (tracked baseline)
     repro trace        — analyze a journal or metrics artifact from a run
 
@@ -34,7 +35,7 @@ import sys
 from typing import Sequence
 
 from repro import obs
-from repro.core.strategies import PlanConfig, available_planners, plan
+from repro.core.strategies import PlanConfig, PlanScope, available_planners, plan
 from repro.experiments.common import CaseStudy, CaseStudyConfig
 from repro.search.engine import (
     DistributedSearchEngine,
@@ -94,9 +95,42 @@ def _add_planner_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _scope_from_args(args: argparse.Namespace) -> int | PlanScope | None:
+    """Resolve ``--scope`` / ``--pg-groups`` / ``--pg-important`` to a scope.
+
+    ``--pg-groups K`` switches planning to placement-group indirection
+    (``PlanScope.pg``); otherwise the plain integer ``--scope`` keeps
+    its historical exact-subproblem meaning.
+    """
+    groups = getattr(args, "pg_groups", None)
+    if groups is not None:
+        return PlanScope.pg(groups=groups, important=getattr(args, "pg_important", 0))
+    return args.scope
+
+
+def _add_pg_scope_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--pg-groups",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "plan through K placement groups instead of per-object "
+            "(overrides --scope; see docs/SCALE.md)"
+        ),
+    )
+    parser.add_argument(
+        "--pg-important",
+        type=int,
+        default=0,
+        metavar="M",
+        help="with --pg-groups, keep the top-M objects exact",
+    )
+
+
 def _plan_config(args: argparse.Namespace) -> PlanConfig:
     return PlanConfig(
-        scope=args.scope,
+        scope=_scope_from_args(args),
         seed=args.seed,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
@@ -303,7 +337,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     config = ChaosConfig(
         replicas=args.replicas,
         planner=args.strategy,
-        plan_config=PlanConfig(scope=args.scope, seed=args.seed),
+        plan_config=PlanConfig(scope=_scope_from_args(args), seed=args.seed),
         mode=args.mode,
         repair=not args.no_repair,
     )
@@ -353,7 +387,7 @@ def cmd_online(args: argparse.Namespace) -> int:
         seed=args.seed,
         thresholds=DriftThresholds(churn=args.churn),
         budget_fraction=args.budget_fraction,
-        planning=PlanConfig(scope=args.scope, seed=args.seed),
+        planning=PlanConfig(scope=_scope_from_args(args), seed=args.seed),
     )
     planner = OnlinePlanner({word: 1.0 for word in vocabulary}, config)
     report = planner.run(stream)
@@ -362,6 +396,46 @@ def cmd_online(args: argparse.Namespace) -> int:
             fh.write(report.to_json())
         print(f"wrote online report to {args.out}", file=sys.stderr)
     print(report.render())
+    return 0
+
+
+def cmd_pg(args: argparse.Namespace) -> int:
+    """Plan a synthetic scenario through placement-group indirection.
+
+    Builds a seeded synthetic problem, plans it with ``lprr:pg``
+    (:class:`~repro.core.strategies.PlanScope.pg` scope), and writes the
+    resulting :class:`~repro.pg.PGMap` as sorted-key JSON.  The map and
+    the ``--journal`` artifact are pure functions of the arguments —
+    byte-identical across same-seed runs — which is what the CI pg-smoke
+    job asserts with ``cmp``; see ``docs/SCALE.md``.
+    """
+    from repro.resilience import synthetic_scenario
+
+    problem, _ = synthetic_scenario(
+        num_objects=args.objects,
+        num_nodes=args.nodes,
+        num_operations=0,
+        seed=args.seed,
+    )
+    config = PlanConfig(
+        scope=PlanScope.pg(groups=args.groups, important=args.important),
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    result = plan(problem, "lprr:pg", config)
+    diag = result.diagnostics
+    print(
+        f"planned {problem.num_objects} objects on {problem.num_nodes} nodes "
+        f"through {diag['nonempty_groups']}/{diag['groups']} placement groups "
+        f"(+{diag['important']} exact); model cost {result.cost:.6g}"
+    )
+    if args.out:
+        payload = json.dumps(result.details.to_dict(), indent=2, sort_keys=True)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+        print(f"wrote PG map to {args.out}", file=sys.stderr)
     return 0
 
 
@@ -511,6 +585,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--documents", type=int, default=1500)
     p.add_argument("--vocabulary", type=int, default=4000)
     p.add_argument("--seed", type=int, default=0)
+    _add_pg_scope_args(p)
     _add_planner_args(p)
     _add_obs_args(p)
     p.set_defaults(func=cmd_place)
@@ -535,6 +610,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--documents", type=int, default=1500)
     p.add_argument("--vocabulary", type=int, default=4000)
     p.add_argument("--seed", type=int, default=0)
+    _add_pg_scope_args(p)
     _add_planner_args(p)
     _add_obs_args(p)
     p.set_defaults(func=cmd_evaluate)
@@ -571,6 +647,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="planner for the single-copy placement",
     )
     p.add_argument("--scope", type=int, default=None, help="optimization scope")
+    _add_pg_scope_args(p)
     p.add_argument("--mode", choices=("intersection", "union"), default="intersection")
     p.add_argument("--seed", type=int, default=0, help="scenario + schedule seed")
     p.add_argument("--no-repair", action="store_true", help="skip incremental repair")
@@ -607,10 +684,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-replan migration budget as a fraction of total size",
     )
     p.add_argument("--scope", type=int, default=None, help="optimization scope cap")
+    _add_pg_scope_args(p)
     p.add_argument("--seed", type=int, default=0, help="stream + sketch seed")
     p.add_argument("--out", metavar="PATH", default=None, help="write report JSON")
     _add_obs_args(p)
     p.set_defaults(func=cmd_online)
+
+    p = sub.add_parser(
+        "pg", help="plan a synthetic scenario through placement groups"
+    )
+    p.add_argument("--objects", type=int, default=100000, help="scenario objects")
+    p.add_argument("--nodes", type=int, default=8, help="scenario nodes")
+    p.add_argument("--groups", type=int, default=64, help="placement groups (K)")
+    p.add_argument(
+        "--important", type=int, default=64, help="top objects kept exact (M)"
+    )
+    p.add_argument("--seed", type=int, default=0, help="scenario seed")
+    p.add_argument("--out", metavar="PATH", default=None, help="write PG map JSON")
+    _add_planner_args(p)
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_pg)
 
     p = sub.add_parser(
         "bench", help="fast-vs-legacy benchmark suite with tracked baseline"
@@ -620,7 +713,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--tags",
         default=None,
-        help="comma-separated stages to run (plan,evaluate,online-ingest)",
+        help="comma-separated stages to run (plan,evaluate,online-ingest,pg)",
     )
     p.add_argument("--out", metavar="PATH", default=None, help="write report JSON")
     p.add_argument(

@@ -30,7 +30,7 @@ from repro.core.migration import (
     select_migrations,
 )
 from repro.core.partial import scoped_placement
-from repro.core.placement import Placement
+from repro.core.placement import Placement, PlacementMap
 from repro.core.problem import PairData, PlacementProblem, min_size_pair_cost
 from repro.core.repair import repair_capacity
 from repro.core.replication import (
@@ -57,6 +57,7 @@ from repro.core.strategies import (
     PlanConfig,
     Planner,
     PlanResult,
+    PlanScope,
     available_planners,
     available_strategies,
     best_fit_decreasing_placement,
@@ -78,10 +79,12 @@ __all__ = [
     "LPStats",
     "PairData",
     "Placement",
+    "PlacementMap",
     "PlacementProblem",
     "PlacementStrategy",
     "PlanConfig",
     "PlanResult",
+    "PlanScope",
     "Planner",
     "ReplicatedPlacement",
     "ResourceSpec",

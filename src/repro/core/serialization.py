@@ -41,6 +41,7 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid cycles
 
 PROBLEM_SCHEMA = "repro/problem/v1"
 PLACEMENT_SCHEMA = "repro/placement/v1"
+PG_MAP_SCHEMA = "repro/pg-map/v1"
 ROUNDING_RESULT_SCHEMA = "repro/rounding-result/v1"
 LPRR_RESULT_SCHEMA = "repro/lprr-result/v1"
 EVALUATION_SUMMARY_SCHEMA = "repro/evaluation-summary/v1"
@@ -159,45 +160,46 @@ def load_problem(path: str | Path) -> PlacementProblem:
         raise TraceFormatError(f"invalid JSON in {path}: {exc}") from exc
 
 
+def _deprecated(old: str, new: str) -> None:
+    import warnings
+
+    warnings.warn(
+        f"{old} is deprecated; use {new} (see docs/API.md for the "
+        "deprecation policy)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def placement_to_dict(placement: Placement) -> dict:
-    """The placement as a JSON-ready dict."""
-    return {
-        "schema": PLACEMENT_SCHEMA,
-        "mapping": {
-            str(obj): str(node) for obj, node in placement.to_mapping().items()
-        },
-    }
+    """Deprecated: use :meth:`Placement.to_dict`.
+
+    The dict round-trip now lives on the :class:`PlacementMap`
+    implementations themselves (``Placement.to_dict``/``from_dict``,
+    ``PGMap.to_dict``/``from_dict``); this shim will be removed two
+    minor releases after 1.6.
+    """
+    _deprecated("placement_to_dict", "Placement.to_dict")
+    return placement.to_dict()
 
 
 def placement_from_dict(data: dict, problem: PlacementProblem) -> Placement:
-    """Rebuild a placement against a (string-id) problem.
-
-    Raises:
-        TraceFormatError: On schema mismatch or ids absent from the
-            problem.
-    """
-    if data.get("schema") != PLACEMENT_SCHEMA:
-        raise TraceFormatError(
-            f"expected schema {PLACEMENT_SCHEMA!r}, got {data.get('schema')!r}"
-        )
-    try:
-        mapping = {str(k): str(v) for k, v in data["mapping"].items()}
-        return Placement.from_mapping(problem, mapping)
-    except (KeyError, TypeError) as exc:
-        raise TraceFormatError(f"malformed placement document: {exc}") from exc
+    """Deprecated: use :meth:`Placement.from_dict`."""
+    _deprecated("placement_from_dict", "Placement.from_dict")
+    return Placement.from_dict(data, problem)
 
 
 def save_placement(placement: Placement, path: str | Path) -> None:
     """Write a placement to a JSON file."""
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(placement_to_dict(placement), fh, indent=1, sort_keys=True)
+        json.dump(placement.to_dict(), fh, indent=1, sort_keys=True)
 
 
 def load_placement(path: str | Path, problem: PlacementProblem) -> Placement:
     """Read a placement written by :func:`save_placement`."""
     try:
         with open(path, encoding="utf-8") as fh:
-            return placement_from_dict(json.load(fh), problem)
+            return Placement.from_dict(json.load(fh), problem)
     except OSError as exc:
         raise TraceFormatError(f"cannot read placement {path}: {exc}") from exc
     except json.JSONDecodeError as exc:

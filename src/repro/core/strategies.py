@@ -50,6 +50,99 @@ if TYPE_CHECKING:  # lazy at runtime: repro.parallel imports repro.core
 # Configuration and results
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
+class PlanScope:
+    """What part of the problem a planner optimizes exactly.
+
+    Three kinds, built with the classmethod constructors:
+
+    * ``PlanScope.exact(top)`` — the pre-1.6 integer scope: optimize the
+      ``top`` most important objects (``None`` = all of them).  A bare
+      ``int`` or ``None`` in :attr:`PlanConfig.scope` normalizes to
+      this kind, so existing configs keep byte-identical behavior.
+    * ``PlanScope.heavy_pairs(top)`` — optimize the objects that appear
+      in some correlated pair, optionally capped at ``top``.  This is
+      the online controller's heavy-hitter scoping, now expressible in
+      the one config shape instead of an ad-hoc planner kwarg.
+    * ``PlanScope.pg(groups, important)`` — placement-group indirection
+      (``docs/SCALE.md``): keep the top-``important`` objects exact,
+      hash the tail into ``groups`` placement groups, and plan at PG
+      granularity.  Routes planning through the ``"lprr:pg"`` planner.
+
+    Attributes:
+        kind: ``"exact"``, ``"heavy"``, or ``"pg"``.
+        top: Object-count cap for ``exact``/``heavy`` scopes.
+        groups: Placement-group count (``pg`` only).
+        important: Exact-object count (``pg`` only).
+    """
+
+    kind: str = "exact"
+    top: int | None = None
+    groups: int = 0
+    important: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("exact", "heavy", "pg"):
+            raise ValueError(f"unknown scope kind {self.kind!r}")
+        if self.top is not None and self.top < 0:
+            raise ValueError("scope top must be nonnegative")
+        if self.kind == "pg":
+            if self.groups < 1:
+                raise ValueError("pg scope needs at least one group")
+            if self.important < 0:
+                raise ValueError("important count must be nonnegative")
+        elif self.groups or self.important:
+            raise ValueError("groups/important apply only to pg scopes")
+
+    @classmethod
+    def exact(cls, top: int | None = None) -> "PlanScope":
+        """Optimize the ``top`` most important objects (None = all)."""
+        return cls(kind="exact", top=None if top is None else int(top))
+
+    @classmethod
+    def heavy_pairs(cls, top: int | None = None) -> "PlanScope":
+        """Optimize the objects appearing in pairs, capped at ``top``."""
+        return cls(kind="heavy", top=None if top is None else int(top))
+
+    @classmethod
+    def pg(cls, groups: int, important: int = 0) -> "PlanScope":
+        """Plan through ``groups`` placement groups plus ``important``
+        exact objects (see ``docs/SCALE.md``)."""
+        return cls(kind="pg", groups=int(groups), important=int(important))
+
+    def limit(self, problem: PlacementProblem) -> int | None:
+        """The resolved integer object scope for this problem.
+
+        ``None`` means "no per-object cap" — all objects for ``exact``
+        scopes without a ``top``, and always for ``pg`` scopes (the pg
+        planner scopes by grouping, not by truncation).
+        """
+        if self.kind == "exact":
+            return self.top
+        if self.kind == "heavy":
+            paired = (
+                int(np.unique(problem.pair_index).size)
+                if problem.num_pairs
+                else 0
+            )
+            return paired if self.top is None else min(paired, self.top)
+        return None
+
+    def signature(self) -> str:
+        """Canonical JSON string for cache keys."""
+        import json
+
+        return json.dumps(
+            {
+                "kind": self.kind,
+                "top": self.top,
+                "groups": self.groups,
+                "important": self.important,
+            },
+            sort_keys=True,
+        )
+
+
+@dataclass(frozen=True)
 class PlanConfig:
     """Everything a planning run can be told, in one value.
 
@@ -60,8 +153,12 @@ class PlanConfig:
     read nothing — so one config can drive a whole strategy comparison.
 
     Attributes:
-        scope: Optimize only the top-``scope`` most important objects
-            (Section 3.1); ``None`` optimizes all of them.
+        scope: What to optimize exactly: an ``int`` (the top-``scope``
+            most important objects, Section 3.1), ``None`` (all of
+            them), or a :class:`PlanScope` — including
+            ``PlanScope.pg(K, M)`` for placement-group planning.
+            Integers and ``None`` normalize to ``PlanScope.exact``, so
+            pre-1.6 configs behave identically.
         seed: Root seed for every stochastic choice the planner makes.
         rounding_trials: Best-of-``k`` randomized-rounding repetitions.
         capacity_factor: Conservative per-node capacity as a multiple
@@ -91,7 +188,7 @@ class PlanConfig:
         use_cache: Master switch; ``False`` ignores ``cache_dir``.
     """
 
-    scope: int | None = None
+    scope: int | PlanScope | None = None
     seed: int = 0
     rounding_trials: int = 10
     capacity_factor: float | None = 2.0
@@ -109,6 +206,21 @@ class PlanConfig:
     def with_options(self, **changes: Any) -> "PlanConfig":
         """A copy with the given fields replaced."""
         return replace(self, **changes)
+
+    @property
+    def scope_spec(self) -> PlanScope:
+        """The scope as a :class:`PlanScope` (ints/None normalize to
+        ``exact``)."""
+        if isinstance(self.scope, PlanScope):
+            return self.scope
+        return PlanScope(
+            kind="exact", top=None if self.scope is None else int(self.scope)
+        )
+
+    def scope_limit(self, problem: PlacementProblem) -> int | None:
+        """Resolved integer object scope for ``problem`` (see
+        :meth:`PlanScope.limit`)."""
+        return self.scope_spec.limit(problem)
 
     def make_cache(self) -> "PlanCache | None":
         """The :class:`PlanCache` this config asks for, or ``None``."""
@@ -271,7 +383,7 @@ _simple_planner(
     "greedy",
     lambda problem, config: scoped_placement(
         problem,
-        config.scope,
+        config.scope_limit(problem),
         greedy_placement,
         capacity_factor=config.capacity_factor,
         hash_salt=config.hash_salt,
@@ -348,9 +460,16 @@ def _lprr_planner(
     # Imported lazily to avoid a cycle (lprr composes other strategies).
     from repro.core.lprr import LPRRPlanner
 
+    if config.scope_spec.kind == "pg":
+        # Placement-group scopes route to the pg planner so one config
+        # shape drives both granularities (see docs/SCALE.md).
+        from repro.pg.planner import plan_with_groups
+
+        return plan_with_groups(problem, config=config)
+
     cache = config.make_cache()
     planner = LPRRPlanner(
-        scope=config.scope,
+        scope=config.scope_limit(problem),
         capacity_factor=config.capacity_factor,
         rounding_trials=config.rounding_trials,
         capacity_tolerance=config.capacity_tolerance,
@@ -376,6 +495,17 @@ def _lprr_planner(
         "cache": cache_state,
     }
     return _finish("lprr", result.placement, span.duration, diagnostics, result)
+
+
+@register_planner("lprr:pg")
+def _lprr_pg_planner(
+    problem: PlacementProblem, *, config: PlanConfig = PlanConfig()
+) -> PlanResult:
+    # Imported lazily to avoid a cycle (the pg layer plans through this
+    # registry's LPRR planner).
+    from repro.pg.planner import plan_with_groups
+
+    return plan_with_groups(problem, config=config)
 
 
 @register_planner("resilient")

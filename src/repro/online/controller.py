@@ -71,8 +71,10 @@ def heavy_hitter_plan(
     Args:
         problem: The CCA instance (typically built from sketch
             estimates).
-        config: Planning knobs; ``config.scope`` further caps the
-            heavy-object scope when set.
+        config: Planning knobs; an integer ``config.scope`` (or a
+            ``PlanScope`` ``top``) further caps the heavy-object
+            scope, and a ``PlanScope.pg`` scope passes through to the
+            placement-group planner unchanged.
 
     Returns:
         A :class:`PlanResult` with ``planner="online"`` and
@@ -80,6 +82,7 @@ def heavy_hitter_plan(
     """
     from dataclasses import replace
 
+    from repro.core.strategies import PlanScope
     from repro.resilience.healing import plan_with_fallbacks
 
     paired: set[int] = set()
@@ -87,9 +90,16 @@ def heavy_hitter_plan(
         paired.add(int(i))
         paired.add(int(j))
     scope = len(paired)
-    if config.scope is not None:
-        scope = min(scope, config.scope)
-    result = plan_with_fallbacks(problem, config=config.with_options(scope=scope))
+    spec = config.scope_spec
+    if spec.kind == "pg":
+        result = plan_with_fallbacks(problem, config=config)
+    else:
+        if spec.top is not None:
+            scope = min(scope, spec.top)
+        result = plan_with_fallbacks(
+            problem,
+            config=config.with_options(scope=PlanScope.heavy_pairs(top=scope)),
+        )
     diagnostics = {**result.diagnostics, "heavy_objects": scope}
     return replace(result, planner="online", diagnostics=diagnostics)
 

@@ -260,9 +260,18 @@ class FallbackStep:
 def _lp_variables(problem: PlacementProblem, config: PlanConfig) -> int:
     """Rough LP size: (objects + pairs) * nodes, after scoping."""
     objects = problem.num_objects
-    if config.scope is not None:
-        objects = min(objects, config.scope)
+    limit = config.scope_limit(problem)
+    if limit is not None:
+        objects = min(objects, limit)
     return (objects + problem.num_pairs) * problem.num_nodes
+
+
+def _coarse_lp_variables(problem: PlacementProblem, config: PlanConfig) -> int:
+    """Rough LP size of the pg planner's coarse problem."""
+    spec = config.scope_spec
+    coarse = min(problem.num_objects, spec.groups + spec.important)
+    pairs = min(problem.num_pairs, coarse * (coarse - 1) // 2)
+    return (coarse + pairs) * problem.num_nodes
 
 
 def plan_with_fallbacks(
@@ -276,8 +285,10 @@ def plan_with_fallbacks(
     The chain, in order: LPRR on the configured backend; LPRR on the
     self-contained ``simplex`` backend (skipped when the configured
     backend already *is* simplex, or when the LP is too large for the
-    dense solver); ``greedy``; ``hash``.  The first planner to succeed
-    supplies the placement; the full attempt log lands in
+    dense solver); ``greedy``; ``hash``.  Placement-group scopes
+    (``PlanScope.pg``) swap the LPRR steps for ``lprr:pg`` on the same
+    backends, sized against the coarse problem.  The first planner to
+    succeed supplies the placement; the full attempt log lands in
     ``diagnostics["fallback_chain"]`` and the winning planner's name in
     ``diagnostics["delegate"]``.
 
@@ -331,34 +342,69 @@ def plan_with_fallbacks(
         return result
 
     with obs.span("plan.resilient", objects=problem.num_objects) as span:
-        steps: list[tuple[str, str | None, Callable[[], PlanResult]]] = [
-            (
-                f"lprr:{config.backend}",
-                config.backend,
-                lambda: plan(problem, "lprr", config),
-            )
-        ]
-        if config.backend != "simplex":
-            if _lp_variables(problem, config) <= SIMPLEX_FALLBACK_MAX_VARIABLES:
-                steps.append(
-                    (
-                        "lprr:simplex",
-                        "simplex",
-                        lambda: plan(
-                            problem,
-                            "lprr",
-                            config.with_options(backend="simplex"),
-                        ),
-                    )
+        if config.scope_spec.kind == "pg":
+            # Placement-group scopes plan through lprr:pg; the chain's
+            # simplex retry targets the same coarse problem.
+            steps: list[tuple[str, str | None, Callable[[], PlanResult]]] = [
+                (
+                    f"lprr:pg:{config.backend}",
+                    config.backend,
+                    lambda: plan(problem, "lprr:pg", config),
                 )
-            else:
-                chain.append(
-                    FallbackStep(
-                        "lprr:simplex",
-                        "skipped",
-                        "problem too large for dense simplex",
+            ]
+            if config.backend != "simplex":
+                if (
+                    _coarse_lp_variables(problem, config)
+                    <= SIMPLEX_FALLBACK_MAX_VARIABLES
+                ):
+                    steps.append(
+                        (
+                            "lprr:pg:simplex",
+                            "simplex",
+                            lambda: plan(
+                                problem,
+                                "lprr:pg",
+                                config.with_options(backend="simplex"),
+                            ),
+                        )
                     )
+                else:
+                    chain.append(
+                        FallbackStep(
+                            "lprr:pg:simplex",
+                            "skipped",
+                            "coarse problem too large for dense simplex",
+                        )
+                    )
+        else:
+            steps = [
+                (
+                    f"lprr:{config.backend}",
+                    config.backend,
+                    lambda: plan(problem, "lprr", config),
                 )
+            ]
+            if config.backend != "simplex":
+                if _lp_variables(problem, config) <= SIMPLEX_FALLBACK_MAX_VARIABLES:
+                    steps.append(
+                        (
+                            "lprr:simplex",
+                            "simplex",
+                            lambda: plan(
+                                problem,
+                                "lprr",
+                                config.with_options(backend="simplex"),
+                            ),
+                        )
+                    )
+                else:
+                    chain.append(
+                        FallbackStep(
+                            "lprr:simplex",
+                            "skipped",
+                            "problem too large for dense simplex",
+                        )
+                    )
         steps.append(("greedy", None, lambda: plan(problem, "greedy", config)))
         steps.append(("hash", None, lambda: plan(problem, "hash", config)))
 
@@ -381,7 +427,7 @@ def plan_with_fallbacks(
         obs.record(
             "plan.fallback",
             delegate=result.planner,
-            degraded=result.planner != "lprr",
+            degraded=result.planner not in ("lprr", "lprr:pg"),
             chain=[s.to_dict() for s in chain],
         )
 
@@ -389,7 +435,7 @@ def plan_with_fallbacks(
         **result.diagnostics,
         "delegate": result.planner,
         "fallback_chain": [s.to_dict() for s in chain],
-        "degraded": result.planner != "lprr",
+        "degraded": result.planner not in ("lprr", "lprr:pg"),
     }
     return replace(result, planner="resilient", diagnostics=diagnostics)
 

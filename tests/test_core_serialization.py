@@ -102,12 +102,12 @@ class TestPlacementRoundTrip:
             problem, {"a": "n0", "b": "n1", "c": "n1"}
         )
         restored_problem = problem_from_dict(problem_to_dict(problem))
-        restored = placement_from_dict(placement_to_dict(placement), restored_problem)
+        restored = Placement.from_dict(placement.to_dict(), restored_problem)
         assert restored.node_of("a") == "n0"
 
     def test_schema_checked(self, problem):
         with pytest.raises(TraceFormatError, match="schema"):
-            placement_from_dict({"schema": "nope"}, problem)
+            Placement.from_dict({"schema": "nope"}, problem)
 
     def test_unknown_object_rejected(self, problem):
         restored_problem = problem_from_dict(problem_to_dict(problem))
@@ -116,7 +116,19 @@ class TestPlacementRoundTrip:
             "mapping": {"zzz": "n0", "a": "n0", "b": "n0", "c": "n0"},
         }
         with pytest.raises(Exception):
-            placement_from_dict(bad, restored_problem)
+            Placement.from_dict(bad, restored_problem)
+
+    def test_module_shims_warn_but_delegate(self, problem):
+        placement = Placement.from_mapping(
+            problem, {"a": "n0", "b": "n1", "c": "n1"}
+        )
+        restored_problem = problem_from_dict(problem_to_dict(problem))
+        with pytest.warns(DeprecationWarning, match="placement_to_dict"):
+            data = placement_to_dict(placement)
+        assert data == placement.to_dict()
+        with pytest.warns(DeprecationWarning, match="placement_from_dict"):
+            restored = placement_from_dict(data, restored_problem)
+        assert restored.node_of("a") == "n0"
 
     def test_files_are_stable_json(self, problem, tmp_path):
         path = tmp_path / "problem.json"
