@@ -67,18 +67,20 @@ from repro.core import (
     union_largest_correlations,
 )
 from repro import obs
+from repro.cluster import Topology, synthetic_topology
 from repro.pg import PGMap
 from repro.exceptions import (
     CircuitOpenError,
     InfeasibleProblemError,
     PlacementError,
     ProblemDefinitionError,
+    ReplicationError,
     ReproError,
     SolverError,
     TraceFormatError,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "CircuitOpenError",
@@ -103,9 +105,11 @@ __all__ = [
     "Planner",
     "ResourceSpec",
     "ProblemDefinitionError",
+    "ReplicationError",
     "ReproError",
     "RoundingResult",
     "SolverError",
+    "Topology",
     "TraceFormatError",
     "available_planners",
     "available_strategies",
@@ -132,6 +136,7 @@ __all__ = [
     "select_migrations",
     "solve_exact",
     "solve_placement_lp",
+    "synthetic_topology",
     "top_important",
     "two_smallest_correlations",
     "union_largest_correlations",

@@ -28,6 +28,15 @@ Scenarios, by pipeline stage:
   (:func:`~repro.pg.expand_assignment`) against the per-object
   ``assign`` loop.  Not part of the committed baseline — the plan wall
   time is pinned in ``detail`` for the 1M-objects acceptance check.
+* ``rep`` — replicated placement at scale: spread-constrained
+  two-copy placement of 100k objects over a zoned topology
+  (:func:`~repro.core.replication.spread_replicated_placement`), a
+  zone-down chaos epoch evaluation
+  (:func:`~repro.resilience.degraded.mode_stats`), and the vectorized
+  spread validation
+  (:func:`~repro.core.replication.spread_violations`) against its
+  per-object loop.  Not part of the committed baseline — plan and
+  epoch wall times are pinned in ``detail``.
 
 Run via ``repro bench``; see ``docs/PERFORMANCE.md``.
 """
@@ -66,7 +75,7 @@ SCHEMA = "repro.bench/v1"
 DEFAULT_ARTIFACT = "BENCH_5.json"
 
 #: Scenario tags in pipeline order.
-TAGS = ("plan", "evaluate", "online-ingest", "pg")
+TAGS = ("plan", "evaluate", "online-ingest", "pg", "rep")
 
 
 @dataclass(frozen=True)
@@ -585,6 +594,66 @@ def _bench_pg_expand(seed: int, repeats: int) -> BenchCase:
     )
 
 
+def _bench_rep_spread(seed: int, repeats: int) -> BenchCase:
+    from repro.cluster.topology import synthetic_topology
+    from repro.core.replication import (
+        _spread_violations_loop,
+        spread_replicated_placement,
+        spread_violations,
+    )
+    from repro.resilience.degraded import mode_stats
+    from repro.resilience.faults import ClusterView
+
+    replicas = 2
+    problem = _pg_problem(seed, num_objects=100_000)
+    topology = synthetic_topology(problem.num_nodes, zones=2, racks_per_zone=2)
+    plan_started = time.perf_counter()
+    replicated = spread_replicated_placement(problem, topology, replicas=replicas)
+    plan_s = time.perf_counter() - plan_started
+
+    # A whole zone down — the correlated failure the spread constraint
+    # exists to survive.  Pin the epoch evaluation wall time.
+    down = frozenset(topology.zone_nodes(0))
+    view = ClusterView(
+        num_nodes=problem.num_nodes, down=down, down_domains=frozenset({"zone:0"})
+    )
+    epoch_started = time.perf_counter()
+    stats = mode_stats(replicated, view, [])
+    epoch_s = time.perf_counter() - epoch_started
+
+    domains = topology.domain_ids(replicated.spread)
+    legacy = _spread_violations_loop(replicated.assignment, domains)
+    fast = spread_violations(replicated.assignment, domains)
+    equal = bool(np.array_equal(legacy, fast))
+    legacy_s = _best_of(
+        repeats, lambda: _spread_violations_loop(replicated.assignment, domains)
+    )
+    fast_s = _best_of(
+        repeats, lambda: spread_violations(replicated.assignment, domains)
+    )
+    return BenchCase(
+        name="rep_spread",
+        tag="rep",
+        legacy_s=legacy_s,
+        fast_s=fast_s,
+        speedup=legacy_s / fast_s,
+        min_speedup=None,
+        equal=equal,
+        detail={
+            "objects": problem.num_objects,
+            "nodes": problem.num_nodes,
+            "replicas": replicas,
+            "zones": topology.num_zones,
+            "racks": topology.num_racks,
+            "spread": replicated.spread,
+            "violations": int(fast.size),
+            "plan_s": round(plan_s, 3),
+            "epoch_s": round(epoch_s, 3),
+            "object_availability": round(stats.object_availability, 6),
+        },
+    )
+
+
 def run_bench(
     seed: int = 0, repeats: int = 3, tags: Iterable[str] | None = None
 ) -> BenchReport:
@@ -622,6 +691,8 @@ def run_bench(
             cases.append(_bench_estimator_ingest(study, repeats))
         if "pg" in selected:
             cases.append(_bench_pg_expand(seed, repeats))
+        if "rep" in selected:
+            cases.append(_bench_rep_spread(seed, repeats))
 
     for case in cases:
         obs.gauge(f"bench.{case.name}.speedup").set(case.speedup)

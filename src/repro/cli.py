@@ -317,6 +317,13 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     :class:`~repro.resilience.degraded.DegradedReport` — a pure
     function of the seed and sizes, byte-identical across runs — goes
     to ``--out``.
+
+    With ``--topology zones:Z,racks:K`` the run switches to domain
+    mode: both sides are replicated under the same failure-domain
+    spread constraints (optimized ``lprr:rep`` chain vs domain-aware
+    hash), faults arrive as domain-correlated crash/heal events, and
+    the exit code is nonzero when any object loses *all* replicas in
+    some epoch (``data_loss``).
     """
     from repro.resilience import (
         ChaosConfig,
@@ -325,21 +332,39 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         synthetic_scenario,
     )
 
+    topology = None
+    if args.topology:
+        from repro.cluster import parse_topology_spec
+
+        topology = parse_topology_spec(args.topology, args.nodes)
+
+    # Domain mode places R copies of every object, so the synthetic
+    # capacity headroom must scale with the replica count to stay
+    # feasible; legacy runs keep the historical factor (and their
+    # byte-stable reports).
+    capacity_factor = 2.0 * args.replicas if topology is not None else 2.0
     problem, operations = synthetic_scenario(
         num_objects=args.objects,
         num_nodes=args.nodes,
         num_operations=args.operations,
         seed=args.seed,
+        capacity_factor=capacity_factor,
     )
-    schedule = FaultSchedule.random(
-        problem.num_nodes, len(operations), seed=args.seed, events=args.events
-    )
+    if topology is not None:
+        schedule = FaultSchedule.random_domains(
+            topology, len(operations), seed=args.seed, events=args.events
+        )
+    else:
+        schedule = FaultSchedule.random(
+            problem.num_nodes, len(operations), seed=args.seed, events=args.events
+        )
     config = ChaosConfig(
         replicas=args.replicas,
         planner=args.strategy,
         plan_config=PlanConfig(scope=_scope_from_args(args), seed=args.seed),
         mode=args.mode,
         repair=not args.no_repair,
+        topology=topology,
     )
     report = run_chaos(problem, operations, schedule, config, seed=args.seed)
     if args.out:
@@ -347,6 +372,13 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             fh.write(report.to_json())
         print(f"wrote degraded report to {args.out}", file=sys.stderr)
     print(report.render())
+    if report.data_loss and topology is not None:
+        # Domain mode makes a durability promise (spread replicas);
+        # losing every copy of an object breaks it loudly.  Legacy runs
+        # keep exit 0 — their replicated side is an illustrative
+        # comparison, and the flag still lands in the JSON report.
+        print("chaos: DATA LOSS — an object lost all replicas", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -651,6 +683,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", choices=("intersection", "union"), default="intersection")
     p.add_argument("--seed", type=int, default=0, help="scenario + schedule seed")
     p.add_argument("--no-repair", action="store_true", help="skip incremental repair")
+    p.add_argument(
+        "--topology",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "failure-domain spec 'zones:Z,racks:K' (racks per zone); "
+            "switches to domain mode: replicated lprr:rep vs replicated "
+            "hash under domain-correlated faults"
+        ),
+    )
     p.add_argument("--out", metavar="PATH", default=None, help="write report JSON")
     _add_obs_args(p)
     p.set_defaults(func=cmd_chaos)
@@ -713,7 +755,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--tags",
         default=None,
-        help="comma-separated stages to run (plan,evaluate,online-ingest,pg)",
+        help="comma-separated stages to run (plan,evaluate,online-ingest,pg,rep)",
     )
     p.add_argument("--out", metavar="PATH", default=None, help="write report JSON")
     p.add_argument(

@@ -13,15 +13,27 @@ from repro.cluster.cluster import Cluster, OperationResult
 from repro.cluster.failures import AvailabilityReport, fail_nodes, worst_single_failure
 from repro.cluster.network import NetworkModel
 from repro.cluster.node import StorageNode
+from repro.cluster.topology import (
+    DOMAIN_KINDS,
+    FailureDomain,
+    Topology,
+    parse_topology_spec,
+    synthetic_topology,
+)
 
 __all__ = [
     "AdaptivePlacer",
     "AvailabilityReport",
     "Cluster",
+    "DOMAIN_KINDS",
+    "FailureDomain",
     "NetworkModel",
     "OperationResult",
     "ReplanDecision",
     "StorageNode",
+    "Topology",
     "fail_nodes",
+    "parse_topology_spec",
+    "synthetic_topology",
     "worst_single_failure",
 ]

@@ -37,6 +37,9 @@ from repro.core.replication import (
     ReplicatedPlacement,
     greedy_replicated_placement,
     hash_replicated_placement,
+    replicate_hash,
+    spread_replicated_placement,
+    spread_violations,
 )
 from repro.core.resources import ResourceSpec
 from repro.core.rounding import (
@@ -112,6 +115,7 @@ __all__ = [
     "random_hash_placement",
     "register_planner",
     "repair_capacity",
+    "replicate_hash",
     "round_best_of",
     "round_fractional",
     "round_trials_batched",
@@ -125,6 +129,8 @@ __all__ = [
     "solve_exact",
     "solve_placement_lp",
     "spectral_placement",
+    "spread_replicated_placement",
+    "spread_violations",
     "top_important",
     "two_smallest_correlations",
     "union_largest_correlations",

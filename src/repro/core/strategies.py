@@ -186,6 +186,16 @@ class PlanConfig:
         cache_dir: Directory for the content-addressed plan cache;
             ``None`` disables caching.
         use_cache: Master switch; ``False`` ignores ``cache_dir``.
+        replicas: Copies per object for replication-aware planners
+            (``lprr:rep`` and friends); ``1`` keeps the single-copy
+            behavior everywhere, including the resilient fallback
+            chain.
+        topology: Failure-domain membership
+            (:class:`~repro.cluster.topology.Topology`) the replica
+            spread constraints are enforced against; ``None`` means the
+            flat every-node-its-own-domain model.  Replicated plans
+            bypass the plan cache (the topology is not part of the
+            cache signature).
     """
 
     scope: int | PlanScope | None = None
@@ -202,6 +212,8 @@ class PlanConfig:
     jobs: int | None = None
     cache_dir: str | Path | None = None
     use_cache: bool = True
+    replicas: int = 1
+    topology: Any | None = None
 
     def with_options(self, **changes: Any) -> "PlanConfig":
         """A copy with the given fields replaced."""
@@ -506,6 +518,138 @@ def _lprr_pg_planner(
     from repro.pg.planner import plan_with_groups
 
     return plan_with_groups(problem, config=config)
+
+
+def _finish_replicated(
+    name: str,
+    replicated,
+    elapsed: float,
+    diagnostics: dict[str, Any] | None = None,
+) -> PlanResult:
+    """Like :func:`_finish` but for replica-producing planners.
+
+    The :class:`PlanResult`'s placement is the primary copy (so every
+    single-copy consumer keeps working) while ``details`` carries the
+    full :class:`~repro.core.replication.ReplicatedPlacement` and
+    ``cost`` is the replicated any-copy cost.
+    """
+    cost = replicated.communication_cost()
+    feasible = replicated.is_feasible()
+    obs.counter("planner.plans").inc()
+    obs.histogram("planner.plan_seconds").observe(elapsed)
+    obs.record(
+        "plan.result", planner=name, cost=round(cost, 9), feasible=feasible
+    )
+    obs.record(
+        "rep.plan",
+        planner=name,
+        replicas=replicated.replication_factor,
+        spread=replicated.spread,
+        cost=round(cost, 9),
+        feasible=feasible,
+    )
+    return PlanResult(
+        placement=replicated.primary(),
+        cost=cost,
+        planner=name,
+        elapsed_seconds=elapsed,
+        diagnostics={
+            "feasible": feasible,
+            "replicas": replicated.replication_factor,
+            "spread": replicated.spread,
+            **(diagnostics or {}),
+        },
+        details=replicated,
+    )
+
+
+def _rep_topology(problem: PlacementProblem, config: PlanConfig):
+    from repro.cluster.topology import Topology
+
+    topology = config.topology
+    if topology is None:
+        return Topology.flat(problem.num_nodes)
+    if not isinstance(topology, Topology):
+        raise TypeError("config.topology must be a cluster.Topology")
+    return topology
+
+
+@register_planner("lprr:rep")
+def _lprr_rep_planner(
+    problem: PlacementProblem, *, config: PlanConfig = PlanConfig()
+) -> PlanResult:
+    """LPRR primaries + spread-constrained correlation-aware replicas.
+
+    The first copy of every object comes from the full LPRR pipeline;
+    each further copy is placed in a fresh failure domain, preferring
+    nodes where the object's correlated partners already sit — so every
+    pair stays co-resident on at least one common node whenever the
+    spread constraint allows it.  Replicated plans bypass the plan
+    cache (the topology is not part of the cache signature).
+    """
+    # Imported lazily to avoid a cycle (replication composes greedy).
+    from repro.core.replication import spread_replicated_placement
+
+    topology = _rep_topology(problem, config)
+    replicas = max(1, int(config.replicas))
+    inner_config = config.with_options(replicas=1, topology=None, use_cache=False)
+    with obs.timed("plan", planner="lprr:rep") as span:
+        inner = plan(problem, "lprr", inner_config)
+        replicated = spread_replicated_placement(
+            problem,
+            topology,
+            replicas=replicas,
+            primary_strategy=lambda p: inner.placement,
+        )
+    diagnostics = {
+        "primary_planner": "lprr",
+        "primary_cost": float(inner.cost),
+        "lp_lower_bound": inner.diagnostics.get("lp_lower_bound"),
+        "zones": topology.num_zones,
+        "racks": topology.num_racks,
+    }
+    return _finish_replicated("lprr:rep", replicated, span.duration, diagnostics)
+
+
+@register_planner("rep:greedy")
+def _rep_greedy_planner(
+    problem: PlacementProblem, *, config: PlanConfig = PlanConfig()
+) -> PlanResult:
+    """Spread-greedy fallback: greedy primaries, spread-aware replicas."""
+    from repro.core.replication import spread_replicated_placement
+
+    topology = _rep_topology(problem, config)
+    replicas = max(1, int(config.replicas))
+    with obs.timed("plan", planner="rep:greedy") as span:
+        replicated = spread_replicated_placement(
+            problem,
+            topology,
+            replicas=replicas,
+            primary_strategy=lambda p: scoped_placement(
+                p,
+                config.scope_limit(p),
+                greedy_placement,
+                capacity_factor=config.capacity_factor,
+                hash_salt=config.hash_salt,
+            ),
+        )
+    return _finish_replicated("rep:greedy", replicated, span.duration)
+
+
+@register_planner("rep:hash")
+def _rep_hash_planner(
+    problem: PlacementProblem, *, config: PlanConfig = PlanConfig()
+) -> PlanResult:
+    """Domain-aware replicated hash: the correlation-oblivious baseline."""
+    from repro.core.replication import replicate_hash
+
+    topology = _rep_topology(problem, config)
+    replicas = max(1, int(config.replicas))
+    with obs.timed("plan", planner="rep:hash") as span:
+        replicated = replicate_hash(
+            problem, topology, replicas=replicas, salt=config.hash_salt
+        )
+    return _finish_replicated("rep:hash", replicated, span.duration)
 
 
 @register_planner("resilient")

@@ -46,5 +46,16 @@ class PlacementError(ReproError):
     """A placement is invalid for the problem it is evaluated against."""
 
 
+class ReplicationError(PlacementError, ValueError):
+    """A replicated placement violates replication invariants.
+
+    Raised for malformed ``(num_objects, replicas)`` assignment shapes,
+    replicas of one object sharing a node, and — once a failure-domain
+    topology is attached — replicas sharing a rack or zone.  Inherits
+    :class:`ValueError` so pre-1.7 callers that caught the bare
+    ``ValueError`` raised for bad replica counts keep working.
+    """
+
+
 class TraceFormatError(ReproError):
     """A trace file or record could not be parsed."""

@@ -14,7 +14,8 @@ Here that pipeline meets failure on purpose —
   backoff, per-backend circuit breakers, and the ``"resilient"``
   fallback-chain planner;
 * :mod:`repro.resilience.repair` re-places only what a crash lost,
-  onto surviving capacity;
+  onto surviving capacity, and re-replicates under-replicated objects
+  into the cheapest valid failure domain;
 * :mod:`repro.resilience.chaos` runs the whole loop end to end and
   emits the byte-reproducible :class:`DegradedReport` behind the
   ``repro chaos`` CLI command.
@@ -28,7 +29,9 @@ from repro.resilience.degraded import (
     mode_stats,
 )
 from repro.resilience.faults import (
+    CRASH_DOMAIN,
     FAULT_KINDS,
+    HEAL_DOMAIN,
     ClusterView,
     Epoch,
     FaultEvent,
@@ -44,10 +47,17 @@ from repro.resilience.healing import (
     reset_backend_breakers,
     retry_with_backoff,
 )
-from repro.resilience.repair import RepairOutcome, replace_lost_objects
+from repro.resilience.repair import (
+    RepairOutcome,
+    ReplicaRepairOutcome,
+    re_replicate,
+    replace_lost_objects,
+)
 
 __all__ = [
+    "CRASH_DOMAIN",
     "FAULT_KINDS",
+    "HEAL_DOMAIN",
     "ChaosConfig",
     "CircuitBreaker",
     "ClusterView",
@@ -60,10 +70,12 @@ __all__ = [
     "FaultState",
     "ModeStats",
     "RepairOutcome",
+    "ReplicaRepairOutcome",
     "RetryPolicy",
     "backend_breaker",
     "mode_stats",
     "plan_with_fallbacks",
+    "re_replicate",
     "replace_lost_objects",
     "reset_backend_breakers",
     "retry_with_backoff",

@@ -17,7 +17,7 @@ same seed always produces byte-identical JSON.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Hashable, Sequence
 
 from repro.core.placement import Placement
@@ -184,6 +184,8 @@ class EpochReport:
             failed nodes).
         repair: Summary of the incremental repair run at epoch end, or
             ``None`` when nothing was lost.
+        down_domains: Labels of failure domains crashed as a unit
+            throughout the epoch (empty outside domain-mode runs).
     """
 
     index: int
@@ -198,10 +200,11 @@ class EpochReport:
     trace_bytes: float
     trace_unserved: int
     repair: dict | None = None
+    down_domains: tuple[str, ...] = ()
 
     def to_dict(self) -> dict:
         """JSON-ready form."""
-        return {
+        doc = {
             "index": self.index,
             "start": self.start,
             "end": self.end,
@@ -215,6 +218,9 @@ class EpochReport:
             "trace_unserved": self.trace_unserved,
             "repair": self.repair,
         }
+        if self.down_domains:
+            doc["down_domains"] = list(self.down_domains)
+        return doc
 
 
 @dataclass(frozen=True)
@@ -246,6 +252,22 @@ class DegradedReport:
         availability_replicated: Same for the replicated placement.
         repair_moves: Total objects re-placed by incremental repair.
         repair_bytes: Total repair traffic.
+        baseline: What the ``single``/``healthy_cost_single`` slots
+            hold — ``"single"`` (legacy runs: the unreplicated
+            placement) or ``"rep:hash"`` (domain-mode runs: the
+            spread-hash replicated baseline the optimized placement is
+            compared against).
+        topology: Failure-domain topology of the run in JSON form, or
+            ``None`` for flat (legacy) runs.
+        spread: Domain level the replicas are spread across, or
+            ``None`` for legacy runs.
+        data_loss: Whether any object lost *all* replicas in some epoch
+            (before repair) — the loud-failure flag the chaos CLI turns
+            into a nonzero exit code.
+        domain_impact: Per-domain blast radius: for every domain that
+            was down during some epoch, the operations attempted,
+            unserved operations (optimized placement), and peak
+            lost-object count while it was down.
     """
 
     seed: int | None
@@ -264,6 +286,11 @@ class DegradedReport:
     availability_replicated: float
     repair_moves: int
     repair_bytes: float
+    baseline: str = "single"
+    topology: dict | None = None
+    spread: str | None = None
+    data_loss: bool = False
+    domain_impact: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """JSON-ready form."""
@@ -284,6 +311,11 @@ class DegradedReport:
             "availability_replicated": round(self.availability_replicated, 9),
             "repair_moves": self.repair_moves,
             "repair_bytes": round(self.repair_bytes, 6),
+            "baseline": self.baseline,
+            "topology": self.topology,
+            "spread": self.spread,
+            "data_loss": self.data_loss,
+            "domain_impact": self.domain_impact,
         }
 
     def to_json(self) -> str:
@@ -292,10 +324,13 @@ class DegradedReport:
 
     def render(self) -> str:
         """Short human summary for the CLI."""
+        left = "single" if self.baseline == "single" else self.baseline
+        loss = " | DATA LOSS" if self.data_loss else ""
         return (
             f"chaos: {self.operations} ops over {len(self.epochs)} epochs, "
             f"{len(self.schedule.get('events', []))} faults | availability "
-            f"single {self.availability_single:.1%} vs replicated "
+            f"{left} {self.availability_single:.1%} vs replicated "
             f"{self.availability_replicated:.1%} | repair moved "
             f"{self.repair_moves} objects ({self.repair_bytes:.0f} bytes)"
+            f"{loss}"
         )

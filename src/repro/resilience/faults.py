@@ -31,8 +31,19 @@ SLOW = "slow"
 FAST = "fast"
 PARTITION = "partition"
 HEAL = "heal"
+CRASH_DOMAIN = "crash_domain"
+HEAL_DOMAIN = "heal_domain"
 
-FAULT_KINDS = (CRASH, RECOVER, SLOW, FAST, PARTITION, HEAL)
+FAULT_KINDS = (
+    CRASH,
+    RECOVER,
+    SLOW,
+    FAST,
+    PARTITION,
+    HEAL,
+    CRASH_DOMAIN,
+    HEAL_DOMAIN,
+)
 
 
 @dataclass(frozen=True)
@@ -46,13 +57,22 @@ class FaultEvent:
             nodes down / bring them back, ``slow`` / ``fast`` mark and
             unmark stragglers, ``partition`` isolates ``nodes`` from
             the rest of the cluster, ``heal`` removes the partition.
+            ``crash_domain`` / ``heal_domain`` are the correlated
+            variants: every node of one failure domain (a rack losing
+            power, a zone dropping out) goes down or comes back
+            together.
         nodes: Node *indices* the event applies to (empty for
             ``heal``).
+        domain: Failure-domain label (``"rack:1"``, ``"zone:0"``) for
+            domain-correlated events; empty for plain node events.  A
+            ``partition`` may also carry a domain label when one side
+            of the split is a whole zone.
     """
 
     time: int
     kind: str
     nodes: tuple[int, ...] = ()
+    domain: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -62,10 +82,18 @@ class FaultEvent:
         object.__setattr__(
             self, "nodes", tuple(int(k) for k in self.nodes)
         )
+        if self.kind in (CRASH_DOMAIN, HEAL_DOMAIN):
+            if not self.domain:
+                raise ValueError(f"{self.kind} events need a domain label")
+            if not self.nodes:
+                raise ValueError(f"{self.kind} events need the domain's nodes")
 
     def to_dict(self) -> dict:
-        """JSON-ready form."""
-        return {"time": self.time, "kind": self.kind, "nodes": list(self.nodes)}
+        """JSON-ready form (``domain`` key only for domain events)."""
+        doc = {"time": self.time, "kind": self.kind, "nodes": list(self.nodes)}
+        if self.domain:
+            doc["domain"] = self.domain
+        return doc
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultEvent":
@@ -74,6 +102,7 @@ class FaultEvent:
             time=int(data["time"]),
             kind=str(data["kind"]),
             nodes=tuple(int(k) for k in data.get("nodes", ())),
+            domain=str(data.get("domain", "")),
         )
 
 
@@ -88,12 +117,16 @@ class ClusterView:
         isolated: One side of an active network partition (empty when
             the network is whole).  Isolated nodes are alive unless
             also ``down``; they just cannot talk to the other side.
+        down_domains: Labels of failure domains currently crashed as a
+            unit (``crash_domain`` without a matching ``heal_domain``);
+            their nodes are included in ``down``.
     """
 
     num_nodes: int
     down: frozenset[int] = frozenset()
     slow: frozenset[int] = frozenset()
     isolated: frozenset[int] = frozenset()
+    down_domains: frozenset[str] = frozenset()
 
     @property
     def healthy(self) -> bool:
@@ -121,12 +154,15 @@ class ClusterView:
 
     def to_dict(self) -> dict:
         """JSON-ready form with sorted node lists."""
-        return {
+        doc = {
             "num_nodes": self.num_nodes,
             "down": sorted(self.down),
             "slow": sorted(self.slow),
             "isolated": sorted(self.isolated),
         }
+        if self.down_domains:
+            doc["down_domains"] = sorted(self.down_domains)
+        return doc
 
 
 class FaultState:
@@ -139,6 +175,7 @@ class FaultState:
         self._down: set[int] = set()
         self._slow: set[int] = set()
         self._isolated: set[int] = set()
+        self._down_domains: set[str] = set()
 
     def apply(self, event: FaultEvent) -> None:
         """Fold one event into the state (and count it)."""
@@ -157,6 +194,12 @@ class FaultState:
             self._isolated = set(event.nodes)
         elif event.kind == HEAL:
             self._isolated.clear()
+        elif event.kind == CRASH_DOMAIN:
+            self._down.update(event.nodes)
+            self._down_domains.add(event.domain)
+        elif event.kind == HEAL_DOMAIN:
+            self._down.difference_update(event.nodes)
+            self._down_domains.discard(event.domain)
         obs.counter("faults.injected").inc()
         obs.counter(f"faults.{event.kind}").inc()
 
@@ -167,6 +210,7 @@ class FaultState:
             down=frozenset(self._down),
             slow=frozenset(self._slow),
             isolated=frozenset(self._isolated),
+            down_domains=frozenset(self._down_domains),
         )
 
 
@@ -307,6 +351,99 @@ class FaultSchedule:
                 )
                 partitioned = True
                 drawn.append(FaultEvent(t, PARTITION, nodes))
+            else:  # HEAL
+                partitioned = False
+                drawn.append(FaultEvent(t, HEAL))
+        return cls(num_nodes=num_nodes, events=tuple(drawn))
+
+    @classmethod
+    def random_domains(
+        cls,
+        topology,
+        horizon: int,
+        *,
+        seed: int = 0,
+        events: int = 6,
+        max_down_fraction: float = 0.5,
+    ) -> "FaultSchedule":
+        """Draw a *domain-correlated* schedule deterministically.
+
+        The failure unit is a whole rack or zone: ``crash_domain``
+        events take every node of one domain down together (rack power
+        loss, zone outage), ``heal_domain`` brings a crashed domain
+        back, and an occasional ``partition`` isolates one zone from
+        the rest of the network.  As with :meth:`random`, at most
+        ``max_down_fraction`` of the nodes are ever down at once, so
+        surviving capacity always exists to repair onto.
+
+        Args:
+            topology: :class:`~repro.cluster.topology.Topology` giving
+                rack/zone membership of the node indices.
+            horizon: Trace length in operations; events land strictly
+                inside ``(0, horizon)``.
+            seed: Root seed; same seed, same schedule, always.
+            events: Number of events to draw.
+            max_down_fraction: Ceiling on simultaneously crashed nodes.
+        """
+        if horizon < 2:
+            raise ValueError("horizon must be at least 2 operations")
+        if events < 0:
+            raise ValueError("events must be nonnegative")
+        num_nodes = topology.num_nodes
+        rng = np.random.default_rng(seed)
+        max_down = max(1, int(max_down_fraction * num_nodes))
+        count = min(events, horizon - 1)
+        times = sorted(
+            int(t) for t in rng.choice(np.arange(1, horizon), size=count, replace=False)
+        )
+
+        down_domains: dict[str, tuple[int, ...]] = {}
+        down: set[int] = set()
+        partitioned = False
+        drawn: list[FaultEvent] = []
+        for t in times:
+            crashable = [
+                label
+                for kind in ("rack", "zone")
+                for label in topology.domain_labels(kind)
+                if label not in down_domains
+                and not (set(topology.nodes_of_domain(label)) & down)
+                and len(down | set(topology.nodes_of_domain(label))) <= max_down
+            ]
+            choices: list[str] = []
+            weights: list[float] = []
+            if crashable:
+                choices.append(CRASH_DOMAIN)
+                weights.append(0.50)
+            if down_domains:
+                choices.append(HEAL_DOMAIN)
+                weights.append(0.30)
+            if not partitioned and topology.num_zones >= 2:
+                choices.append(PARTITION)
+                weights.append(0.15)
+            if partitioned:
+                choices.append(HEAL)
+                weights.append(0.05)
+            if not choices:
+                continue
+            probs = np.asarray(weights) / sum(weights)
+            kind = str(rng.choice(choices, p=probs))
+            if kind == CRASH_DOMAIN:
+                label = str(rng.choice(crashable))
+                nodes = topology.nodes_of_domain(label)
+                down_domains[label] = nodes
+                down.update(nodes)
+                drawn.append(FaultEvent(t, CRASH_DOMAIN, nodes, domain=label))
+            elif kind == HEAL_DOMAIN:
+                label = str(rng.choice(sorted(down_domains)))
+                nodes = down_domains.pop(label)
+                down.difference_update(nodes)
+                drawn.append(FaultEvent(t, HEAL_DOMAIN, nodes, domain=label))
+            elif kind == PARTITION:
+                zone = str(rng.choice(topology.domain_labels("zone")))
+                nodes = topology.nodes_of_domain(zone)
+                partitioned = True
+                drawn.append(FaultEvent(t, PARTITION, nodes, domain=zone))
             else:  # HEAL
                 partitioned = False
                 drawn.append(FaultEvent(t, HEAL))

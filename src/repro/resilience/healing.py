@@ -287,10 +287,15 @@ def plan_with_fallbacks(
     backend already *is* simplex, or when the LP is too large for the
     dense solver); ``greedy``; ``hash``.  Placement-group scopes
     (``PlanScope.pg``) swap the LPRR steps for ``lprr:pg`` on the same
-    backends, sized against the coarse problem.  The first planner to
-    succeed supplies the placement; the full attempt log lands in
-    ``diagnostics["fallback_chain"]`` and the winning planner's name in
-    ``diagnostics["delegate"]``.
+    backends, sized against the coarse problem.  Replicated configs
+    (``config.replicas > 1``) swap the whole chain for the
+    failure-domain-aware one: ``lprr:rep:<backend>`` →
+    ``lprr:rep:simplex`` → ``rep:greedy`` (spread-greedy) →
+    ``rep:hash`` (spread-hash) — every step honors the domain spread
+    constraints, so even the deepest fallback never stacks two copies
+    in one rack.  The first planner to succeed supplies the placement;
+    the full attempt log lands in ``diagnostics["fallback_chain"]``
+    and the winning planner's name in ``diagnostics["delegate"]``.
 
     LP attempts run under per-backend circuit breakers (see
     :func:`backend_breaker`), so a backend that has failed repeatedly
@@ -342,7 +347,44 @@ def plan_with_fallbacks(
         return result
 
     with obs.span("plan.resilient", objects=problem.num_objects) as span:
-        if config.scope_spec.kind == "pg":
+        if config.replicas > 1:
+            # Replicated configs plan through the domain-aware chain;
+            # every step enforces the same replica spread constraints.
+            steps = [
+                (
+                    f"lprr:rep:{config.backend}",
+                    config.backend,
+                    lambda: plan(problem, "lprr:rep", config),
+                )
+            ]
+            if config.backend != "simplex":
+                if _lp_variables(problem, config) <= SIMPLEX_FALLBACK_MAX_VARIABLES:
+                    steps.append(
+                        (
+                            "lprr:rep:simplex",
+                            "simplex",
+                            lambda: plan(
+                                problem,
+                                "lprr:rep",
+                                config.with_options(backend="simplex"),
+                            ),
+                        )
+                    )
+                else:
+                    chain.append(
+                        FallbackStep(
+                            "lprr:rep:simplex",
+                            "skipped",
+                            "problem too large for dense simplex",
+                        )
+                    )
+            steps.append(
+                ("rep:greedy", None, lambda: plan(problem, "rep:greedy", config))
+            )
+            steps.append(
+                ("rep:hash", None, lambda: plan(problem, "rep:hash", config))
+            )
+        elif config.scope_spec.kind == "pg":
             # Placement-group scopes plan through lprr:pg; the chain's
             # simplex retry targets the same coarse problem.
             steps: list[tuple[str, str | None, Callable[[], PlanResult]]] = [
@@ -405,8 +447,9 @@ def plan_with_fallbacks(
                             "problem too large for dense simplex",
                         )
                     )
-        steps.append(("greedy", None, lambda: plan(problem, "greedy", config)))
-        steps.append(("hash", None, lambda: plan(problem, "hash", config)))
+        if config.replicas <= 1:
+            steps.append(("greedy", None, lambda: plan(problem, "greedy", config)))
+            steps.append(("hash", None, lambda: plan(problem, "hash", config)))
 
         result: PlanResult | None = None
         for step, backend, run in steps:
@@ -427,7 +470,7 @@ def plan_with_fallbacks(
         obs.record(
             "plan.fallback",
             delegate=result.planner,
-            degraded=result.planner not in ("lprr", "lprr:pg"),
+            degraded=result.planner not in ("lprr", "lprr:pg", "lprr:rep"),
             chain=[s.to_dict() for s in chain],
         )
 
@@ -435,7 +478,7 @@ def plan_with_fallbacks(
         **result.diagnostics,
         "delegate": result.planner,
         "fallback_chain": [s.to_dict() for s in chain],
-        "degraded": result.planner not in ("lprr", "lprr:pg"),
+        "degraded": result.planner not in ("lprr", "lprr:pg", "lprr:rep"),
     }
     return replace(result, planner="resilient", diagnostics=diagnostics)
 

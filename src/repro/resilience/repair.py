@@ -9,12 +9,18 @@ it as a standard :class:`~repro.core.migration.MigrationPlan` (every
 move sourced at the dead node, modelling restore-from-replica or
 re-ingest) together with before/after availability so the repair's
 effect is quantified, not assumed.
+
+:func:`re_replicate` is the replicated analogue: after a fault, every
+copy sitting on a down node is re-created on a live node in the
+cheapest *valid* failure domain — one holding no other live copy of
+the object — restoring full replication degree without ever violating
+the spread constraints the placement was built under.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Sequence
+from typing import TYPE_CHECKING, Hashable, Iterable, Sequence
 
 import numpy as np
 
@@ -23,6 +29,10 @@ from repro.cluster.failures import fail_nodes
 from repro.core.migration import MigrationPlan, diff_placements
 from repro.core.placement import Placement
 from repro.exceptions import PlacementError
+
+if TYPE_CHECKING:
+    from repro.core.replication import ReplicatedPlacement
+    from repro.resilience.faults import ClusterView
 
 NodeId = Hashable
 ObjectId = Hashable
@@ -170,6 +180,220 @@ def replace_lost_objects(
         placement=repaired,
         failed_nodes=tuple(sorted(failed_set, key=repr)),
         lost_objects=tuple(problem.object_ids[i] for i in lost),
+        availability_before=before.operation_availability,
+        availability_after=after.operation_availability,
+    )
+
+
+@dataclass(frozen=True)
+class ReplicaRepairOutcome:
+    """What a re-replication pass did and bought.
+
+    Attributes:
+        placement: The repaired :class:`ReplicatedPlacement` (every
+            repairable copy back on a live node).
+        moves: Copies re-created on new nodes.
+        bytes_moved: Total re-replication traffic (one object size per
+            re-created copy, modelling restore from a surviving copy or
+            re-ingest).
+        repaired_objects: Objects that had at least one copy
+            re-created, sorted by object id.
+        lost_objects: Objects that had *no* live copy when repair
+            started — actual data loss; their copies are re-created
+            anyway (modelling re-ingest from an upstream source).
+        unrepaired_copies: Down copies that could not be re-placed
+            (fewer live nodes than the replication factor).
+        availability_before: Operation availability of the broken
+            replicated placement under the view.
+        availability_after: Same measure after re-replication.
+    """
+
+    placement: "ReplicatedPlacement"
+    moves: int
+    bytes_moved: float
+    repaired_objects: tuple[ObjectId, ...]
+    lost_objects: tuple[ObjectId, ...]
+    unrepaired_copies: int
+    availability_before: float
+    availability_after: float
+
+    @property
+    def restored(self) -> float:
+        """Availability gained by the repair."""
+        return self.availability_after - self.availability_before
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary."""
+        return {
+            "moves": self.moves,
+            "bytes_moved": float(self.bytes_moved),
+            "repaired_objects": [str(o) for o in self.repaired_objects],
+            "lost_objects": [str(o) for o in self.lost_objects],
+            "unrepaired_copies": self.unrepaired_copies,
+            "availability_before": float(self.availability_before),
+            "availability_after": float(self.availability_after),
+        }
+
+
+def re_replicate(
+    replicated: "ReplicatedPlacement",
+    view: "ClusterView",
+    operations: Iterable[Operation] = (),
+    capacity_tolerance: float = 0.05,
+) -> ReplicaRepairOutcome:
+    """Re-create every replica stranded on a down node.
+
+    Objects are handled largest-first.  Each down copy is re-created on
+    a live node in the cheapest *valid* failure domain — a domain (at
+    the placement's spread level) holding no other copy of the object —
+    preferring the node that restores the most still-split pair weight
+    toward live partner copies, then the least-loaded.  When no live
+    node in a fresh domain exists (e.g. a whole zone is down), the
+    spread constraint is relaxed to distinct live nodes rather than
+    leaving the object under-replicated; when even distinct live nodes
+    run out, the copy stays unrepaired and is counted.
+
+    Args:
+        replicated: The replicated placement at fault time.
+        view: Cluster health (``view.down`` are the dead node indices).
+        operations: Optional trace used for the availability numbers.
+        capacity_tolerance: Relative slack when judging whether a
+            candidate node has room.
+
+    Returns:
+        A :class:`ReplicaRepairOutcome`; ``moves == 0`` when no copy
+        was on a down node.
+
+    Raises:
+        PlacementError: When every node is down.
+    """
+    from repro.core.replication import ReplicatedPlacement
+    from repro.resilience.degraded import mode_stats
+
+    problem = replicated.problem
+    down = set(view.down)
+    live = [k for k in range(problem.num_nodes) if k not in down]
+    if not live:
+        raise PlacementError("every node failed; nothing to re-replicate onto")
+
+    if replicated.topology is None:
+        from repro.cluster.topology import Topology
+
+        topology = Topology.flat(problem.num_nodes)
+    else:
+        topology = replicated.topology
+    ids = topology.domain_ids(replicated.spread)
+
+    before = mode_stats(replicated, view, list(operations))
+    assignment = replicated.assignment.copy()
+    copies: list[set[int]] = [set(int(k) for k in row) for row in assignment]
+    lost = tuple(
+        problem.object_ids[i]
+        for i in range(problem.num_objects)
+        if not (copies[i] - down)
+    )
+
+    loads = np.zeros(problem.num_nodes)
+    for i in range(problem.num_objects):
+        for k in copies[i]:
+            if k not in down:
+                loads[k] += problem.sizes[i]
+
+    adjacency: list[list[tuple[int, float]]] = [
+        [] for _ in range(problem.num_objects)
+    ]
+    for (i, j), weight in zip(problem.pair_index, problem.pair_weights):
+        if weight > 0:
+            adjacency[int(i)].append((int(j), float(weight)))
+            adjacency[int(j)].append((int(i), float(weight)))
+
+    order = sorted(
+        range(problem.num_objects),
+        key=lambda i: (-problem.sizes[i], repr(problem.object_ids[i])),
+    )
+    moves = 0
+    bytes_moved = 0.0
+    unrepaired = 0
+    repaired: list[int] = []
+    with obs.span("repair.replicas", down=len(down)):
+        for i in order:
+            size = problem.sizes[i]
+            for r in range(assignment.shape[1]):
+                if int(assignment[i, r]) not in down:
+                    continue
+                held = copies[i] - {int(assignment[i, r])}
+                used_domains = {int(ids[k]) for k in held if k not in down}
+                used_domains |= {int(ids[k]) for k in held & down}
+                fresh = [
+                    k
+                    for k in live
+                    if int(ids[k]) not in used_domains and k not in held
+                ]
+                candidates = fresh or [k for k in live if k not in held]
+                if not candidates:
+                    unrepaired += 1
+                    continue
+                gains = {k: 0.0 for k in candidates}
+                for j, weight in adjacency[i]:
+                    if copies[i] & copies[j] - down:
+                        continue  # pair already co-resident and live
+                    for k in copies[j] - down:
+                        if k in gains:
+                            gains[k] += weight
+                fits = [
+                    k
+                    for k in candidates
+                    if loads[k] + size
+                    <= problem.capacities[k] * (1.0 + capacity_tolerance) + 1e-9
+                ]
+                pool = fits or candidates
+                best = max(pool, key=lambda k: (gains[k], -loads[k], -k))
+                copies[i].discard(int(assignment[i, r]))
+                assignment[i, r] = best
+                copies[i].add(best)
+                loads[best] += size
+                moves += 1
+                bytes_moved += float(size)
+                if i not in repaired:
+                    repaired.append(i)
+
+    # A domain-wide outage may have forced copies into shared domains;
+    # relax the spread one level at a time (zone -> rack -> node) and
+    # keep the strictest invariant the repaired layout still satisfies.
+    levels = ["zone", "rack", "node"]
+    start = levels.index(replicated.spread) if replicated.spread in levels else 2
+    placement = None
+    for level in levels[start:]:
+        try:
+            placement = ReplicatedPlacement(
+                problem, assignment, topology=replicated.topology, spread=level
+            )
+            break
+        except PlacementError:
+            continue
+    if placement is None:
+        placement = ReplicatedPlacement(
+            problem, assignment, topology=replicated.topology, spread="node"
+        )
+    after = mode_stats(placement, view, list(operations))
+    obs.counter("repair.replicas_recreated").inc(moves)
+    obs.record(
+        "rep.repair",
+        moves=moves,
+        bytes_moved=round(bytes_moved, 9),
+        lost_objects=len(lost),
+        unrepaired_copies=unrepaired,
+    )
+
+    return ReplicaRepairOutcome(
+        placement=placement,
+        moves=moves,
+        bytes_moved=bytes_moved,
+        repaired_objects=tuple(
+            sorted((problem.object_ids[i] for i in repaired), key=repr)
+        ),
+        lost_objects=lost,
+        unrepaired_copies=unrepaired,
         availability_before=before.operation_availability,
         availability_after=after.operation_availability,
     )

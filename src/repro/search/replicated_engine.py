@@ -102,6 +102,20 @@ class ReplicatedSearchEngine:
         """Forget all slow-node markings."""
         self._slow.clear()
 
+    def apply_view(self, view) -> None:
+        """Adopt a :class:`~repro.resilience.faults.ClusterView` wholesale.
+
+        Replaces the engine's down/slow sets with the view's, so a
+        chaos epoch can hand the engine its exact cluster health
+        instead of issuing incremental ``mark_*`` calls.  Isolated
+        nodes are treated as down for routing purposes — the engine
+        pipelines across nodes, which a partition forbids.
+        """
+        self._down = {int(k) for k in view.down} | {
+            int(k) for k in view.isolated
+        }
+        self._slow = {int(k) for k in view.slow}
+
     def alive_copies_of(self, keyword: str) -> frozenset[int]:
         """Surviving (non-failed) copy holders of ``keyword``."""
         return self._copies.get(keyword, frozenset()) - self._down

@@ -3,14 +3,19 @@
 import numpy as np
 import pytest
 
+from repro.cluster import synthetic_topology
 from repro.core.placement import Placement
 from repro.core.problem import PlacementProblem
 from repro.core.replication import (
     ReplicatedPlacement,
+    _spread_violations_loop,
     greedy_replicated_placement,
     hash_replicated_placement,
+    replicate_hash,
+    spread_replicated_placement,
+    spread_violations,
 )
-from repro.exceptions import PlacementError
+from repro.exceptions import PlacementError, ReplicationError
 
 
 @pytest.fixture
@@ -145,3 +150,121 @@ class TestGreedyReplication:
         assert np.array_equal(
             placement.assignment[:, 0], random_hash_placement(problem).assignment
         )
+
+
+@pytest.fixture
+def zoned():
+    """A 12-object / 8-node instance with a 2x2x2 topology."""
+    rng = np.random.default_rng(3)
+    objects = {f"o{i}": float(rng.integers(1, 4)) for i in range(12)}
+    corr = {
+        (f"o{2 * i}", f"o{2 * i + 1}"): 0.4 + 0.05 * i for i in range(6)
+    }
+    problem = PlacementProblem.build(objects, 8, corr)
+    topology = synthetic_topology(8, zones=2, racks_per_zone=2)
+    return problem, topology
+
+
+class TestSpreadValidation:
+    def test_typed_error_for_shape(self, problem):
+        with pytest.raises(ReplicationError, match="num_objects"):
+            ReplicatedPlacement(problem, np.zeros((2, 2), dtype=np.int64))
+        # Back-compat: the typed error still is a PlacementError and a
+        # ValueError, so pre-1.7 handlers keep catching it.
+        assert issubclass(ReplicationError, PlacementError)
+        assert issubclass(ReplicationError, ValueError)
+
+    def test_error_names_offending_domain(self, zoned):
+        problem, topology = zoned
+        # Nodes 0 and 1 share zone 0 (and rack 0).
+        assignment = np.tile(np.array([0, 1]), (problem.num_objects, 1))
+        with pytest.raises(ReplicationError, match=r"sharing zone:0"):
+            ReplicatedPlacement(problem, assignment, topology=topology)
+
+    def test_error_names_offending_rack(self, zoned):
+        problem, topology = zoned
+        assignment = np.tile(np.array([0, 1]), (problem.num_objects, 1))
+        with pytest.raises(ReplicationError, match=r"sharing rack:0"):
+            ReplicatedPlacement(
+                problem, assignment, topology=topology, spread="rack"
+            )
+
+    def test_topology_size_mismatch(self, zoned):
+        problem, _ = zoned
+        small = synthetic_topology(4, zones=2, racks_per_zone=1)
+        assignment = np.tile(np.array([0, 1]), (problem.num_objects, 1))
+        with pytest.raises(ReplicationError, match="topology covers"):
+            ReplicatedPlacement(problem, assignment, topology=small)
+
+    def test_cross_zone_assignment_accepted(self, zoned):
+        problem, topology = zoned
+        # Nodes 0 (zone 0) and 4 (zone 1).
+        assignment = np.tile(np.array([0, 4]), (problem.num_objects, 1))
+        placement = ReplicatedPlacement(problem, assignment, topology=topology)
+        assert placement.spread == "zone"
+
+    def test_spread_violations_matches_loop(self, zoned):
+        problem, topology = zoned
+        rng = np.random.default_rng(0)
+        ids = topology.domain_ids("zone")
+        for _ in range(20):
+            assignment = rng.integers(0, 8, size=(12, 2))
+            assert np.array_equal(
+                spread_violations(assignment, ids),
+                _spread_violations_loop(assignment, ids),
+            )
+
+
+class TestReplicateHash:
+    def test_copies_land_in_distinct_zones(self, zoned):
+        problem, topology = zoned
+        placement = replicate_hash(problem, topology, replicas=2)
+        ids = topology.domain_ids("zone")
+        for row in placement.assignment:
+            assert len({int(ids[k]) for k in row}) == 2
+
+    def test_deterministic_and_salt_sensitive(self, zoned):
+        problem, topology = zoned
+        a = replicate_hash(problem, topology, replicas=2)
+        b = replicate_hash(problem, topology, replicas=2)
+        salted = replicate_hash(problem, topology, replicas=2, salt="x")
+        assert np.array_equal(a.assignment, b.assignment)
+        assert not np.array_equal(a.assignment, salted.assignment)
+
+    def test_too_many_replicas_for_topology(self, zoned):
+        problem, topology = zoned
+        with pytest.raises(ReplicationError, match="distinct copies"):
+            replicate_hash(problem, topology, replicas=9)
+
+
+class TestSpreadReplicatedPlacement:
+    def test_zero_spread_violations(self, zoned):
+        problem, topology = zoned
+        placement = spread_replicated_placement(problem, topology, replicas=2)
+        ids = topology.domain_ids(placement.spread)
+        assert spread_violations(placement.assignment, ids).size == 0
+
+    def test_no_worse_than_hash_baseline(self, zoned):
+        problem, topology = zoned
+        ours = spread_replicated_placement(problem, topology, replicas=2)
+        hashed = replicate_hash(problem, topology, replicas=2)
+        assert ours.communication_cost() <= hashed.communication_cost() + 1e-12
+
+    def test_respects_primary_strategy(self, zoned):
+        problem, topology = zoned
+        def fixed(p):
+            return Placement(p, np.arange(p.num_objects) % p.num_nodes)
+
+        placement = spread_replicated_placement(
+            problem, topology, replicas=2, primary_strategy=fixed
+        )
+        assert np.array_equal(
+            placement.assignment[:, 0], fixed(problem).assignment
+        )
+
+    def test_three_replicas_fall_back_to_rack_spread(self, zoned):
+        problem, topology = zoned
+        placement = spread_replicated_placement(problem, topology, replicas=3)
+        assert placement.spread == "rack"  # only 2 zones for 3 copies
+        ids = topology.domain_ids("rack")
+        assert spread_violations(placement.assignment, ids).size == 0

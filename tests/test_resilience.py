@@ -1,5 +1,7 @@
 """Tests for the resilience subsystem (repro.resilience)."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -626,3 +628,251 @@ class TestChaosCli:
         main([*base, "--seed", "1", "--out", str(a)])
         main([*base, "--seed", "2", "--out", str(b)])
         assert a.read_bytes() != b.read_bytes()
+
+class TestDomainFaults:
+    def _topology(self):
+        from repro.cluster import synthetic_topology
+
+        return synthetic_topology(8, zones=2, racks_per_zone=2)
+
+    def test_crash_domain_takes_whole_domain_down(self):
+        from repro.resilience import CRASH_DOMAIN, HEAL_DOMAIN
+
+        topo = self._topology()
+        nodes = topo.nodes_of_domain("rack:1")
+        state = FaultState(topo.num_nodes)
+        state.apply(FaultEvent(1, CRASH_DOMAIN, nodes, domain="rack:1"))
+        view = state.view()
+        assert view.down == frozenset(nodes)
+        assert view.down_domains == frozenset({"rack:1"})
+        state.apply(FaultEvent(2, HEAL_DOMAIN, nodes, domain="rack:1"))
+        view = state.view()
+        assert not view.down
+        assert not view.down_domains
+
+    def test_domain_event_requires_domain_label(self):
+        from repro.resilience import CRASH_DOMAIN
+
+        with pytest.raises(ValueError, match="domain"):
+            FaultEvent(1, CRASH_DOMAIN, (0, 1))
+
+    def test_random_domains_deterministic_and_bounded(self):
+        topo = self._topology()
+        a = FaultSchedule.random_domains(topo, 60, seed=11, events=8)
+        b = FaultSchedule.random_domains(topo, 60, seed=11, events=8)
+        assert a.to_dict() == b.to_dict()
+        max_down = topo.num_nodes // 2
+        for epoch in a.epochs(60):
+            assert len(epoch.view.down) <= max_down
+
+    def test_random_domains_round_trips_through_json(self):
+        topo = self._topology()
+        schedule = FaultSchedule.random_domains(topo, 60, seed=4, events=6)
+        clone = FaultSchedule.from_dict(schedule.to_dict())
+        assert clone.to_dict() == schedule.to_dict()
+        assert any(e.domain for e in schedule.events)
+
+
+class TestReReplicate:
+    def _zoned(self, seed=3):
+        from repro.cluster import synthetic_topology
+        from repro.core.replication import spread_replicated_placement
+
+        problem, operations = synthetic_scenario(
+            num_objects=20, num_nodes=8, num_operations=30, seed=seed,
+            capacity_factor=4.0,
+        )
+        topo = synthetic_topology(8, zones=2, racks_per_zone=2)
+        placement = spread_replicated_placement(problem, topo, replicas=2)
+        return problem, operations, topo, placement
+
+    def test_restores_full_replication_after_rack_loss(self):
+        from repro.core.replication import spread_violations
+        from repro.resilience import re_replicate
+
+        problem, operations, topo, placement = self._zoned()
+        down = topo.nodes_of_domain("rack:0")
+        view = ClusterView(
+            num_nodes=8, down=frozenset(down),
+            down_domains=frozenset({"rack:0"}),
+        )
+        outcome = re_replicate(placement, view, operations=operations)
+        assert outcome.moves > 0
+        assert outcome.unrepaired_copies == 0
+        assert not outcome.lost_objects
+        assert not np.isin(outcome.placement.assignment, down).any()
+        # The repaired layout still satisfies its spread constraint.
+        ids = topo.domain_ids(outcome.placement.spread)
+        assert spread_violations(outcome.placement.assignment, ids).size == 0
+
+    def test_availability_never_drops(self):
+        from repro.resilience import re_replicate
+
+        problem, operations, topo, placement = self._zoned()
+        view = ClusterView(
+            num_nodes=8,
+            down=frozenset(topo.nodes_of_domain("zone:0")),
+            down_domains=frozenset({"zone:0"}),
+        )
+        outcome = re_replicate(placement, view, operations=operations)
+        assert outcome.availability_after >= outcome.availability_before
+
+    def test_noop_when_nothing_down(self):
+        from repro.resilience import re_replicate
+
+        _, operations, _, placement = self._zoned()
+        outcome = re_replicate(placement, ClusterView(num_nodes=8))
+        assert outcome.moves == 0
+        assert np.array_equal(outcome.placement.assignment, placement.assignment)
+
+
+class TestDomainChaos:
+    def _scenario(self, seed=3):
+        from repro.cluster import synthetic_topology
+
+        problem, operations = synthetic_scenario(
+            num_objects=24, num_nodes=8, num_operations=40, seed=seed,
+            capacity_factor=4.0,
+        )
+        topo = synthetic_topology(8, zones=2, racks_per_zone=2)
+        schedule = FaultSchedule.random_domains(
+            topo, len(operations), seed=seed, events=6
+        )
+        return problem, operations, topo, schedule
+
+    def test_same_seed_byte_identical_report(self):
+        problem, operations, topo, schedule = self._scenario()
+        config = ChaosConfig(replicas=2, topology=topo)
+        a = run_chaos(problem, operations, schedule, config, seed=3)
+        b = run_chaos(problem, operations, schedule, config, seed=3)
+        assert a.to_json() == b.to_json()
+
+    def test_report_carries_domain_fields(self):
+        problem, operations, topo, schedule = self._scenario()
+        report = run_chaos(
+            problem, operations, schedule,
+            ChaosConfig(replicas=2, topology=topo), seed=3,
+        )
+        assert report.baseline == "rep:hash"
+        assert report.topology == topo.to_dict()
+        assert report.spread in ("zone", "rack", "node")
+        assert isinstance(report.domain_impact, dict)
+        downs = [e for e in report.epochs if e.down_domains]
+        assert downs  # the seeded schedule crashes at least one domain
+        for label in {d for e in downs for d in e.down_domains}:
+            assert label in report.domain_impact
+
+    def test_optimized_no_costlier_than_hash_baseline(self):
+        problem, operations, topo, schedule = self._scenario()
+        report = run_chaos(
+            problem, operations, schedule,
+            ChaosConfig(replicas=2, topology=topo), seed=3,
+        )
+        assert report.healthy_cost_replicated <= report.healthy_cost_single + 1e-9
+
+    def test_data_loss_flag_set_when_all_copies_die(self):
+        from repro.cluster import Topology
+
+        # Two nodes, two copies, both nodes down: certain data loss.
+        problem, operations = synthetic_scenario(
+            num_objects=8, num_nodes=2, num_operations=10, seed=0,
+            capacity_factor=4.0,
+        )
+        topo = Topology.flat(2)
+        schedule = FaultSchedule(
+            2, (FaultEvent(2, "crash", (0,)), FaultEvent(4, "crash", (1,)))
+        )
+        report = run_chaos(
+            problem, operations, schedule,
+            ChaosConfig(replicas=2, topology=topo, repair=False), seed=0,
+        )
+        assert report.data_loss
+        assert "DATA LOSS" in report.render()
+
+
+class TestDomainChaosCli:
+    ARGS = [
+        "chaos",
+        "--replicas", "2",
+        "--topology", "zones:2,racks:2",
+        "--objects", "24",
+        "--nodes", "8",
+        "--operations", "40",
+        "--events", "6",
+    ]
+
+    def test_cli_domain_reports_are_byte_identical(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main([*self.ARGS, "--seed", "3", "--out", str(a)]) == 0
+        assert main([*self.ARGS, "--seed", "3", "--out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+        doc = json.loads(a.read_text())
+        assert doc["baseline"] == "rep:hash"
+        assert doc["topology"]["zones"]
+        out = capsys.readouterr().out
+        assert "availability" in out
+
+    def test_cli_exits_nonzero_on_data_loss(self, tmp_path, capsys):
+        from repro.cli import main
+
+        # Sweep seeds until the schedule produces total loss of some
+        # object; the exit code must flip to 1 in exactly those runs.
+        saw_loss = False
+        for seed in range(12):
+            out = tmp_path / f"r{seed}.json"
+            code = main([*self.ARGS, "--seed", str(seed), "--out", str(out)])
+            doc = json.loads(out.read_text())
+            assert code == (1 if doc["data_loss"] else 0)
+            saw_loss = saw_loss or doc["data_loss"]
+            capsys.readouterr()
+        assert saw_loss  # the sweep exercises the failure path
+
+
+class TestPGDegradedParity:
+    def test_pg_placement_serves_like_exact_under_crash(self):
+        # Satellite: a crashed node under a PGMap-derived placement must
+        # show the same unserved accounting as the identical exact
+        # placement — degraded serving sees assignments, not how they
+        # were produced.
+        from repro.core.strategies import PlanScope
+
+        problem, operations = synthetic_scenario(
+            num_objects=40, num_nodes=5, num_operations=40, seed=2
+        )
+        config = PlanConfig(
+            scope=PlanScope.pg(groups=8, important=8), seed=2, use_cache=False
+        )
+        result = plan(problem, "lprr:pg", config)
+        pg_placement = result.placement
+        exact_clone = Placement(problem, pg_placement.assignment.copy())
+
+        view = ClusterView(num_nodes=5, down=frozenset({int(pg_placement.assignment[0])}))
+        via_pg = mode_stats(pg_placement, view, operations)
+        via_exact = mode_stats(exact_clone, view, operations)
+        assert via_pg == via_exact
+        assert via_pg.lost_objects > 0  # the crash actually bites
+
+    def test_pg_scope_chaos_run_accounts_unserved(self):
+        from repro.core.strategies import PlanScope
+
+        problem, operations = synthetic_scenario(
+            num_objects=40, num_nodes=5, num_operations=40, seed=2
+        )
+        schedule = FaultSchedule.random(5, len(operations), seed=2, events=5)
+        config = ChaosConfig(
+            plan_config=PlanConfig(
+                scope=PlanScope.pg(groups=8, important=8), seed=2
+            )
+        )
+        report = run_chaos(problem, operations, schedule, config, seed=2)
+        assert report.planning["fallback_chain"][0]["step"] == "lprr:pg:auto"
+        assert 0.0 <= report.availability_single <= 1.0
+        total_unserved = sum(
+            e.single.operations - e.single.servable_operations
+            for e in report.epochs
+        )
+        downs = [e for e in report.epochs if e.down]
+        if downs:
+            assert total_unserved >= 0

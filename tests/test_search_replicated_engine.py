@@ -134,3 +134,48 @@ class TestUnionExecution:
     def test_union_empty_query(self, index):
         engine = DistributedSearchEngine(index, {})
         assert engine.execute_union([]).result_count == 0
+
+class TestApplyView:
+    def test_view_replaces_down_and_slow_sets(self, index):
+        from repro.resilience.faults import ClusterView
+
+        placement = replicated(
+            index, {"rare": [0, 1], "beta": [1, 2], "alpha": [0, 2]}
+        )
+        engine = ReplicatedSearchEngine(index, placement, down_nodes=[2])
+        engine.mark_slow(0)
+        view = ClusterView(num_nodes=3, down=frozenset({1}), slow=frozenset({2}))
+        engine.apply_view(view)
+        # Wholesale replacement: the old down/slow markings are gone.
+        assert engine.down_nodes == frozenset({1})
+        assert engine.slow_nodes == frozenset({2})
+
+    def test_isolated_nodes_treated_as_down(self, index):
+        from repro.resilience.faults import ClusterView
+
+        placement = replicated(
+            index, {"rare": [0, 1], "beta": [1, 2], "alpha": [0, 2]}
+        )
+        engine = ReplicatedSearchEngine(index, placement)
+        view = ClusterView(num_nodes=3, isolated=frozenset({0, 1}))
+        engine.apply_view(view)
+        assert engine.down_nodes == frozenset({0, 1})
+        # rare's only copies (0 and 1) are unreachable -> unserved.
+        execution = engine.execute(["rare", "beta"])
+        assert not execution.served
+
+    def test_routing_follows_the_view(self, index):
+        from repro.resilience.faults import ClusterView
+
+        placement = replicated(
+            index, {"rare": [0, 1], "beta": [1, 2], "alpha": [0, 2]}
+        )
+        engine = ReplicatedSearchEngine(index, placement)
+        engine.apply_view(ClusterView(num_nodes=3, down=frozenset({1})))
+        # Node 1 (the shared copy) is gone: rare only on 0, beta only
+        # on 2, so the pipeline must ship rare's postings once.
+        execution = engine.execute(["rare", "beta"])
+        assert execution.served
+        assert execution.bytes_transferred > 0
+        engine.apply_view(ClusterView(num_nodes=3))
+        assert engine.execute(["rare", "beta"]).bytes_transferred == 0
