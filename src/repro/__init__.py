@@ -80,7 +80,7 @@ from repro.exceptions import (
     TraceFormatError,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "CircuitOpenError",

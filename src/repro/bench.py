@@ -28,6 +28,13 @@ Scenarios, by pipeline stage:
   (:func:`~repro.pg.expand_assignment`) against the per-object
   ``assign`` loop.  Not part of the committed baseline — the plan wall
   time is pinned in ``detail`` for the 1M-objects acceptance check.
+* ``serve`` — the serving layer: one seeded loadgen scenario replayed
+  through the batching :class:`~repro.serve.router.QueryRouter` versus
+  per-query dispatch (``max_batch=1``), compared on *service seconds
+  per completed query* (virtual time, so the ratio is deterministic);
+  and the streaming-partitioner replan ablation — ``stream:greedy``
+  versus heavy-pair ``lprr`` on the post-shift trace, compared on
+  replan wall time with the placement-cost ratio gating ``equal``.
 * ``rep`` — replicated placement at scale: spread-constrained
   two-copy placement of 100k objects over a zoned topology
   (:func:`~repro.core.replication.spread_replicated_placement`), a
@@ -75,7 +82,7 @@ SCHEMA = "repro.bench/v1"
 DEFAULT_ARTIFACT = "BENCH_5.json"
 
 #: Scenario tags in pipeline order.
-TAGS = ("plan", "evaluate", "online-ingest", "pg", "rep")
+TAGS = ("plan", "evaluate", "online-ingest", "pg", "rep", "serve")
 
 
 @dataclass(frozen=True)
@@ -514,6 +521,147 @@ def _bench_estimator_ingest(study: CaseStudy, repeats: int) -> BenchCase:
     )
 
 
+def _bench_columnar_ingest(study: CaseStudy, repeats: int) -> BenchCase:
+    from repro.workloads.traces import TraceColumns
+
+    trace = [query.keywords for query in study.log]
+    columns = TraceColumns.from_operations(trace)
+
+    def legacy_run():
+        estimator = SketchCorrelationEstimator(seed=0)
+        estimator.observe_trace(columns.operations())
+        return estimator
+
+    def fast_run():
+        estimator = SketchCorrelationEstimator(seed=0)
+        estimator.observe_columns(columns)
+        return estimator
+
+    legacy = legacy_run()
+    fast = fast_run()
+    equal = json.dumps(legacy.to_dict(), sort_keys=True) == json.dumps(
+        fast.to_dict(), sort_keys=True
+    )
+    legacy_s = _best_of(repeats, legacy_run)
+    fast_s = _best_of(repeats, fast_run)
+    return BenchCase(
+        name="columnar_ingest",
+        tag="online-ingest",
+        legacy_s=legacy_s,
+        fast_s=fast_s,
+        speedup=legacy_s / fast_s,
+        min_speedup=1.0,
+        equal=equal,
+        detail={
+            "operations": len(columns),
+            "distinct_ids": len(columns.ids),
+            "codes": int(columns.codes.size),
+        },
+    )
+
+
+def _serve_loadgen_config(seed: int, max_batch: int):
+    from repro.serve import LoadgenConfig, ServeConfig
+
+    return LoadgenConfig(
+        duration_s=2.0,
+        qps=6000.0,
+        seed=seed,
+        serve=ServeConfig(max_batch=max_batch),
+    )
+
+
+def _bench_serve_routing(seed: int, repeats: int) -> BenchCase:
+    # Virtual-time replay: throughput is a pure function of the seed,
+    # so one run per mode is exact — ``repeats`` buys nothing here.
+    # legacy_s / fast_s are *service seconds per completed query*, not
+    # harness wall time; the speedup is the batched-vs-per-query
+    # throughput ratio the serving layer must sustain.
+    from repro.serve import run_loadgen
+
+    batched = run_loadgen(_serve_loadgen_config(seed, max_batch=32))
+    per_query = run_loadgen(_serve_loadgen_config(seed, max_batch=1))
+    legacy_s = 1.0 / per_query.throughput_qps
+    fast_s = 1.0 / batched.throughput_qps
+    equal = bool(
+        batched.p99_ms <= per_query.p99_ms
+        and batched.dropped_in_flight == 0
+        and per_query.dropped_in_flight == 0
+        and batched.availability == 1.0
+    )
+    return BenchCase(
+        name="serve_routing",
+        tag="serve",
+        legacy_s=legacy_s,
+        fast_s=fast_s,
+        speedup=legacy_s / fast_s,
+        min_speedup=10.0,
+        equal=equal,
+        detail={
+            "offered": batched.offered,
+            "batched_qps": round(batched.throughput_qps, 1),
+            "per_query_qps": round(per_query.throughput_qps, 1),
+            "batched_p99_ms": round(batched.p99_ms, 3),
+            "per_query_p99_ms": round(per_query.p99_ms, 3),
+            "batched_completed": batched.completed,
+            "per_query_completed": per_query.completed,
+            "swaps": batched.swaps,
+        },
+    )
+
+
+def _bench_stream_planner(seed: int, repeats: int) -> BenchCase:
+    # The replan ablation: on the post-shift half of the drifting
+    # stream, the one-pass streaming partitioner must replan an order
+    # of magnitude faster than heavy-pair LPRR while staying within
+    # 1.5x of its placement cost (the ``equal`` gate).
+    from repro.core.strategies import PlanConfig, plan
+    from repro.search.engine import build_placement_problem
+    from repro.search.query import QueryLog
+    from repro.serve import LoadgenConfig, build_scenario
+
+    config = LoadgenConfig(duration_s=2.0, qps=6000.0, seed=seed)
+    index, stream, _ = build_scenario(config)
+    half = config.duration_s / 2.0
+    window = QueryLog(
+        timed.query for timed in stream if timed.time_s >= half
+    )
+    problem = build_placement_problem(
+        index,
+        window,
+        config.node_capacities(float(index.total_bytes)),
+        correlation_mode="cooccurrence",
+    )
+    plan_config = PlanConfig(seed=seed, use_cache=False)
+    lprr = plan(problem, "lprr", plan_config)
+    stream_greedy = plan(problem, "stream:greedy", plan_config)
+    cost_ratio = (
+        stream_greedy.cost / lprr.cost if lprr.cost > 0 else 1.0
+    )
+    legacy_s = _best_of(repeats, lambda: plan(problem, "lprr", plan_config))
+    fast_s = _best_of(
+        repeats, lambda: plan(problem, "stream:greedy", plan_config)
+    )
+    return BenchCase(
+        name="stream_planner",
+        tag="serve",
+        legacy_s=legacy_s,
+        fast_s=fast_s,
+        speedup=legacy_s / fast_s,
+        min_speedup=10.0,
+        equal=bool(cost_ratio <= 1.5),
+        detail={
+            "objects": problem.num_objects,
+            "nodes": problem.num_nodes,
+            "pairs": int(problem.pair_index.shape[0]),
+            "post_shift_queries": len(window),
+            "lprr_cost": round(lprr.cost, 6),
+            "stream_cost": round(stream_greedy.cost, 6),
+            "cost_ratio": round(cost_ratio, 4),
+        },
+    )
+
+
 def _pg_problem(seed: int, num_objects: int = 1_000_000) -> PlacementProblem:
     """A million-object CCA instance, built through the raw constructor.
 
@@ -689,6 +837,10 @@ def run_bench(
         if "online-ingest" in selected:
             cases.append(_bench_cm_ingest(study, repeats))
             cases.append(_bench_estimator_ingest(study, repeats))
+            cases.append(_bench_columnar_ingest(study, repeats))
+        if "serve" in selected:
+            cases.append(_bench_serve_routing(seed, repeats))
+            cases.append(_bench_stream_planner(seed, repeats))
         if "pg" in selected:
             cases.append(_bench_pg_expand(seed, repeats))
         if "rep" in selected:

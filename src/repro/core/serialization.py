@@ -160,35 +160,6 @@ def load_problem(path: str | Path) -> PlacementProblem:
         raise TraceFormatError(f"invalid JSON in {path}: {exc}") from exc
 
 
-def _deprecated(old: str, new: str) -> None:
-    import warnings
-
-    warnings.warn(
-        f"{old} is deprecated; use {new} (see docs/API.md for the "
-        "deprecation policy)",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def placement_to_dict(placement: Placement) -> dict:
-    """Deprecated: use :meth:`Placement.to_dict`.
-
-    The dict round-trip now lives on the :class:`PlacementMap`
-    implementations themselves (``Placement.to_dict``/``from_dict``,
-    ``PGMap.to_dict``/``from_dict``); this shim will be removed two
-    minor releases after 1.6.
-    """
-    _deprecated("placement_to_dict", "Placement.to_dict")
-    return placement.to_dict()
-
-
-def placement_from_dict(data: dict, problem: PlacementProblem) -> Placement:
-    """Deprecated: use :meth:`Placement.from_dict`."""
-    _deprecated("placement_from_dict", "Placement.from_dict")
-    return Placement.from_dict(data, problem)
-
-
 def save_placement(placement: Placement, path: str | Path) -> None:
     """Write a placement to a JSON file."""
     with open(path, "w", encoding="utf-8") as fh:

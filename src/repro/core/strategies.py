@@ -465,6 +465,22 @@ def _local_search(problem: PlacementProblem, config: PlanConfig) -> Placement:
 _simple_planner("local_search", _local_search)
 
 
+def _stream_greedy(problem: PlacementProblem, config: PlanConfig) -> Placement:
+    # Imported lazily: the streaming tier is only needed when serving.
+    from repro.core.streampart import streaming_greedy_placement
+
+    return scoped_placement(
+        problem,
+        config.scope_limit(problem),
+        streaming_greedy_placement,
+        capacity_factor=config.capacity_factor,
+        hash_salt=config.hash_salt,
+    )
+
+
+_simple_planner("stream:greedy", _stream_greedy)
+
+
 @register_planner("lprr")
 def _lprr_planner(
     problem: PlacementProblem, *, config: PlanConfig = PlanConfig()

@@ -191,6 +191,52 @@ def chaos_summary(records: Iterable[dict]) -> dict[str, Any] | None:
     return summary
 
 
+def serve_summary(records: Iterable[dict]) -> dict[str, Any] | None:
+    """Batch/swap/shed roll-up of a serving (loadgen) run, if one ran."""
+    batches = 0
+    queries = 0
+    unique = 0
+    by_version: TallyCounter = TallyCounter()
+    shed: TallyCounter = TallyCounter()
+    swaps: list[dict] = []
+    end: dict | None = None
+    seen = False
+    for record in records:
+        kind = record.get("kind")
+        if kind == "serve.start":
+            seen = True
+        elif kind == "serve.batch":
+            batches += 1
+            queries += int(record.get("size", 0))
+            unique += int(record.get("unique", 0))
+            by_version[int(record.get("version", 0))] += int(
+                record.get("size", 0)
+            )
+        elif kind == "serve.shed":
+            shed[str(record.get("reason", "?"))] += 1
+        elif kind == "serve.swap":
+            swaps.append(record)
+        elif kind == "serve.end":
+            end = record
+    if not seen and not batches and end is None:
+        return None
+    summary: dict[str, Any] = {
+        "batches": batches,
+        "batched_queries": queries,
+        "unique_executions": unique,
+        "queries_by_version": {str(k): v for k, v in sorted(by_version.items())},
+        "shed": dict(sorted(shed.items())),
+        "swaps": [
+            {"version": s.get("version"), "planner": s.get("planner")}
+            for s in swaps
+        ],
+    }
+    if end is not None:
+        summary["throughput_qps"] = end.get("throughput_qps")
+        summary["p99_ms"] = end.get("p99_ms")
+    return summary
+
+
 def _attempts_for_period(records: Sequence[dict], period_seq: int) -> list[dict]:
     """``plan.attempt`` records belonging to one ``online.period``.
 
@@ -370,6 +416,37 @@ def render_journal_report(records: Sequence[dict]) -> str:
             lines.append(
                 f"  availability: single {chaos['availability_single']}, "
                 f"replicated {chaos['availability_replicated']}"
+            )
+
+    serve = serve_summary(records)
+    if serve is not None:
+        lines.append("")
+        lines.append(
+            f"serve: {serve['batches']} batches, "
+            f"{serve['batched_queries']} queries "
+            f"({serve['unique_executions']} unique executions)"
+        )
+        if serve["queries_by_version"]:
+            lines.append(
+                "  queries by plan version: "
+                + ", ".join(
+                    f"v{k}={v}" for k, v in serve["queries_by_version"].items()
+                )
+            )
+        for swap in serve["swaps"]:
+            lines.append(
+                f"  swap -> version {swap['version']} "
+                f"(planner {swap['planner']})"
+            )
+        if serve["shed"]:
+            lines.append(
+                "  shed: "
+                + ", ".join(f"{k}={v}" for k, v in serve["shed"].items())
+            )
+        if serve.get("throughput_qps") is not None:
+            lines.append(
+                f"  throughput: {serve['throughput_qps']} qps, "
+                f"p99 {serve['p99_ms']}ms"
             )
 
     periods = online_periods(records)

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Mapping
+from typing import Callable, Hashable, Iterable, Mapping
 
 import numpy as np
 
@@ -339,11 +339,18 @@ class OnlinePlanner:
         sizes: Mapping[ObjectId, float],
         config: OnlineConfig,
         estimator: PairEstimator | None = None,
+        on_publish: "Callable[[int, dict[ObjectId, int]], None] | None" = None,
     ):
         self.sizes = dict(sizes)
         if not self.sizes:
             raise ValueError("sizes must cover at least one object")
         self.config = config
+        # Plan-publication hook: called with (period_index, mapping)
+        # after every period that changed the assignment (bootstrap,
+        # replan, migrate).  The serving layer uses this to hot-swap a
+        # router's PlanSnapshot (see repro.serve.snapshot); the mapping
+        # passed is a fresh copy, safe to freeze.
+        self.on_publish = on_publish
         if estimator is None:
             estimator = SketchCorrelationEstimator(
                 mode=config.mode,
@@ -504,6 +511,12 @@ class OnlinePlanner:
                 "online.period", t=round(period.start_s, 6), **decision.to_dict()
             )
             self._window.advance_period()
+        if self.on_publish is not None and decision.action in (
+            "bootstrap",
+            "replan",
+            "migrate",
+        ):
+            self.on_publish(period.index, self.placement_mapping)
         return decision
 
     # ------------------------------------------------------------------

@@ -443,6 +443,26 @@ class SketchCorrelationEstimator:
         for operation in trace:
             ops += 1
             pairs.extend(operation_pairs(operation, self.mode, self.sizes))
+        return self._ingest_pairs(pairs, ops)
+
+    def observe_columns(self, columns) -> int:
+        """Fold a :class:`~repro.workloads.traces.TraceColumns` trace.
+
+        The columnar fast path: cooccurrence pair extraction runs on
+        the code arrays (:meth:`TraceColumns.cooccurrence_pairs`)
+        instead of the per-operation ``operation_pairs`` loop, then
+        both summaries ingest the identical pair stream — so the
+        result is byte-identical to
+        ``observe_trace(columns.operations())``, which remains the
+        equivalence oracle.  Size-aware modes have no columnar
+        reduction yet and take the oracle path.
+        """
+        if self.mode != "cooccurrence":
+            return self.observe_trace(columns.operations())
+        return self._ingest_pairs(columns.cooccurrence_pairs(), len(columns))
+
+    def _ingest_pairs(self, pairs: list[Pair], ops: int) -> int:
+        """Feed an extracted pair stream to both summaries, in order."""
         self.sketch.update_many(pairs)
         for pair in pairs:
             self.heavy.add(pair)

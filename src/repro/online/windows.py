@@ -194,6 +194,20 @@ class DecayingEstimator:
             ops += 1
         return ops
 
+    def observe_columns(self, columns) -> int:
+        """Fold a columnar trace via the wrapped columnar ingest.
+
+        Estimators exposing ``observe_columns`` (the sketch backend
+        does) get the vectorized pair extraction of
+        :class:`~repro.workloads.traces.TraceColumns`; anything else
+        replays the row view through :meth:`observe_trace`, which is
+        byte-identical by construction.
+        """
+        batched = getattr(self.estimator, "observe_columns", None)
+        if batched is not None:
+            return int(batched(columns))
+        return self.observe_trace(columns.operations())
+
     def decay(self, factor: float) -> None:
         """Explicit extra decay (beyond the per-period factor)."""
         self.estimator.decay(factor)

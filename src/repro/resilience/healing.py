@@ -448,6 +448,17 @@ def plan_with_fallbacks(
                         )
                     )
         if config.replicas <= 1:
+            # The streaming tier sits below LPRR: one pass over the pair
+            # list, no LP, so it survives backend outages that take both
+            # LP steps down while still being correlation-aware (unlike
+            # greedy's pair scan it also balances load as it goes).
+            steps.append(
+                (
+                    "stream:greedy",
+                    None,
+                    lambda: plan(problem, "stream:greedy", config),
+                )
+            )
             steps.append(("greedy", None, lambda: plan(problem, "greedy", config)))
             steps.append(("hash", None, lambda: plan(problem, "hash", config)))
 

@@ -70,6 +70,7 @@ class EngineStats:
     local_queries: int = 0
     total_hops: int = 0
     unserved_queries: int = 0
+    rejected_queries: int = 0
     per_node_bytes_sent: dict[NodeId, int] = field(default_factory=dict)
 
     def record(self, execution: QueryExecution, sender_bytes: list[tuple[NodeId, int]]) -> None:
@@ -100,6 +101,18 @@ class EngineStats:
                 self.per_node_bytes_sent.get(node, 0) + sent * count
             )
 
+    def record_rejected(self, count: int = 1) -> None:
+        """Account queries shed *before* reaching the engine.
+
+        Admission-control rejections (and queries retried around a plan
+        swap) never execute, so they must not inflate ``queries`` or
+        ``unserved_queries`` — counting them there would double-penalize
+        :attr:`availability`, which measures whether the *placement*
+        could serve what it was actually asked.  They are tracked
+        separately and surface in :attr:`service_level` instead.
+        """
+        self.rejected_queries += count
+
     @property
     def local_fraction(self) -> float:
         """Fraction of queries answered without communication."""
@@ -107,10 +120,28 @@ class EngineStats:
 
     @property
     def availability(self) -> float:
-        """Fraction of queries that were servable at all."""
+        """Fraction of *executed* queries that were servable at all.
+
+        Rejected queries are excluded from both numerator and
+        denominator: shedding load is an admission decision, not a
+        placement failure.
+        """
         if self.queries == 0:
             return 1.0
         return (self.queries - self.unserved_queries) / self.queries
+
+    @property
+    def service_level(self) -> float:
+        """Fraction of *submitted* queries that were fully served.
+
+        Unlike :attr:`availability` this charges admission-control
+        rejections against the system, so it is the end-to-end number a
+        serving layer reports.
+        """
+        submitted = self.queries + self.rejected_queries
+        if submitted == 0:
+            return 1.0
+        return (self.queries - self.unserved_queries) / submitted
 
     @property
     def mean_bytes_per_query(self) -> float:
@@ -308,15 +339,41 @@ class DistributedSearchEngine:
             dedup: When False, execute every query individually (the
                 legacy loop — the equivalence oracle and bench
                 baseline for the batched path).
+
+        A :class:`~repro.workloads.traces.TraceColumns` instance is
+        also accepted as ``log``: with ``dedup`` the grouping then runs
+        on the interned code arrays (one ``bytes`` key per operation
+        slice) instead of constructing a :class:`Query` per row, and
+        only each distinct operation materializes a query.  Statistics
+        are identical to replaying ``log.operations()``.
         """
         if mode not in ("intersection", "union"):
             raise ValueError(f"unknown query mode {mode!r}")
+        from repro.workloads.traces import TraceColumns
+
         stats = EngineStats()
         bytes_hist = obs.histogram("engine.query.bytes")
         hops_hist = obs.histogram("engine.query.hops")
         nodes_hist = obs.histogram("engine.query.nodes_contacted")
         with obs.span("replay", mode=mode, dedup=dedup) as replay_span:
-            if dedup:
+            if dedup and isinstance(log, TraceColumns):
+                # Columnar grouping: the code slice's raw bytes are the
+                # group key (codes are an injective id encoding, so two
+                # slices match exactly when the keyword tuples do).
+                ids = log.ids
+                code_groups: dict[bytes, list] = {}
+                for _, codes in log.operation_slices():
+                    key = codes.tobytes()
+                    entry = code_groups.get(key)
+                    if entry is None:
+                        code_groups[key] = [
+                            Query(tuple(ids[c] for c in codes)), 1
+                        ]
+                    else:
+                        entry[1] += 1
+                pairs = [(query, count) for query, count in code_groups.values()]
+                obs.counter("engine.unique_queries").inc(len(pairs))
+            elif dedup:
                 # Keyword tuple -> [representative query, multiplicity],
                 # in first-occurrence order so node accounting fills in
                 # the same order as the sequential replay.

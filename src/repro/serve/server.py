@@ -1,0 +1,117 @@
+"""A minimal JSON-lines TCP front end over the query router.
+
+``repro serve`` binds this server on the real event loop (real clock,
+real sockets) — the router underneath is exactly the one loadgen
+exercises deterministically, which is the point: the served path and
+the measured path are the same code.
+
+Protocol: one JSON object per line.
+
+Request::
+
+    {"keywords": ["w000001", "w000007"]}
+
+Response::
+
+    {"ok": true, "results": 3, "bytes": 128, "served": true,
+     "version": 1, "latency_ms": 4.1}
+
+Shed queries answer ``{"ok": false, "error": "throttled",
+"retry_after_s": 0.01}`` and the connection stays open.  An empty line
+closes the connection; ``{"op": "stats"}`` returns router totals.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.search.query import Query
+from repro.serve.admission import AdmissionError
+from repro.serve.router import QueryRouter
+from repro.serve.snapshot import PlanHandle
+
+__all__ = ["serve_forever", "handle_connection"]
+
+
+def _stats_payload(router: QueryRouter) -> dict:
+    stats = router.stats
+    return {
+        "ok": True,
+        "queries": stats.queries,
+        "rejected": stats.rejected_queries,
+        "unserved": stats.unserved_queries,
+        "batches": router.batches,
+        "swaps": router.handle.swaps,
+        "version": router.handle.current.version,
+        "availability": round(stats.availability, 6),
+        "service_level": round(stats.service_level, 6),
+    }
+
+
+async def handle_connection(
+    router: QueryRouter,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Serve one client until it sends an empty line or disconnects."""
+    loop = asyncio.get_running_loop()
+    try:
+        while True:
+            line = await reader.readline()
+            if not line or not line.strip():
+                break
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                response = {"ok": False, "error": f"bad request: {exc.msg}"}
+            else:
+                if request.get("op") == "stats":
+                    response = _stats_payload(router)
+                else:
+                    response = await _answer(router, loop, request)
+            writer.write(json.dumps(response, sort_keys=True).encode() + b"\n")
+            await writer.drain()
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
+async def _answer(
+    router: QueryRouter, loop: asyncio.AbstractEventLoop, request: dict
+) -> dict:
+    keywords = request.get("keywords")
+    if not isinstance(keywords, list) or not all(
+        isinstance(w, str) for w in keywords
+    ):
+        return {"ok": False, "error": "keywords must be a list of strings"}
+    try:
+        routed = await router.submit(Query(tuple(keywords)))
+    except AdmissionError as exc:
+        return {
+            "ok": False,
+            "error": exc.reason,
+            "retry_after_s": round(exc.retry_after_s, 6),
+        }
+    return {
+        "ok": True,
+        "results": routed.execution.result_count,
+        "bytes": routed.execution.bytes_transferred,
+        "served": routed.execution.served,
+        "version": routed.version,
+        "latency_ms": round(routed.latency_s * 1000.0, 3),
+    }
+
+
+async def serve_forever(
+    handle: PlanHandle,
+    router: QueryRouter,
+    host: str = "127.0.0.1",
+    port: int = 7621,
+) -> None:
+    """Run the TCP server until cancelled."""
+    server = await asyncio.start_server(
+        lambda r, w: handle_connection(router, r, w), host, port
+    )
+    async with server:
+        await server.serve_forever()

@@ -10,8 +10,6 @@ from repro.core.problem import PlacementProblem
 from repro.core.serialization import (
     load_placement,
     load_problem,
-    placement_from_dict,
-    placement_to_dict,
     problem_from_dict,
     problem_to_dict,
     save_placement,
@@ -118,17 +116,13 @@ class TestPlacementRoundTrip:
         with pytest.raises(Exception):
             Placement.from_dict(bad, restored_problem)
 
-    def test_module_shims_warn_but_delegate(self, problem):
-        placement = Placement.from_mapping(
-            problem, {"a": "n0", "b": "n1", "c": "n1"}
-        )
-        restored_problem = problem_from_dict(problem_to_dict(problem))
-        with pytest.warns(DeprecationWarning, match="placement_to_dict"):
-            data = placement_to_dict(placement)
-        assert data == placement.to_dict()
-        with pytest.warns(DeprecationWarning, match="placement_from_dict"):
-            restored = placement_from_dict(data, restored_problem)
-        assert restored.node_of("a") == "n0"
+    def test_removed_shims_stay_removed(self):
+        # placement_to_dict / placement_from_dict were deprecated in
+        # 1.6 and removed in 1.8 per the policy in docs/API.md.
+        import repro.core.serialization as serialization
+
+        assert not hasattr(serialization, "placement_to_dict")
+        assert not hasattr(serialization, "placement_from_dict")
 
     def test_files_are_stable_json(self, problem, tmp_path):
         path = tmp_path / "problem.json"

@@ -14,6 +14,7 @@ from repro.obs.analytics import (
     fallback_summary,
     online_periods,
     render_journal_report,
+    serve_summary,
 )
 from repro.obs.journal import JOURNAL_SCHEMA, Journal, load_journal
 
@@ -278,6 +279,44 @@ class TestAnalytics:
         assert summary["unserved_operations"] == 4
         assert summary["repaired_epochs"] == 1
         assert summary["availability_replicated"] == 1.0
+
+    def test_serve_summary_absent_without_serve_records(self):
+        assert serve_summary(_synthetic_online_journal()) is None
+
+    def test_serve_summary_rolls_up(self):
+        journal = Journal()
+        journal.record("serve.start", mode="batched", seed=0, queries=8)
+        journal.record("serve.batch", seq=0, size=3, unique=2, version=1)
+        journal.record("serve.shed", reason="throttled")
+        journal.record("serve.swap", version=2, planner="stream:greedy")
+        journal.record("serve.batch", seq=1, size=5, unique=4, version=2)
+        journal.record(
+            "serve.end",
+            mode="batched",
+            completed=8,
+            shed=1,
+            swaps=1,
+            throughput_qps=123.456,
+            p99_ms=9.876,
+        )
+        summary = serve_summary(journal.records())
+        assert summary["batches"] == 2
+        assert summary["batched_queries"] == 8
+        assert summary["unique_executions"] == 6
+        assert summary["queries_by_version"] == {"1": 3, "2": 5}
+        assert summary["shed"] == {"throttled": 1}
+        assert summary["swaps"] == [
+            {"version": 2, "planner": "stream:greedy"}
+        ]
+        assert summary["throughput_qps"] == 123.456
+        assert summary["p99_ms"] == 9.876
+
+        text = render_journal_report(journal.records())
+        assert "serve: 2 batches, 8 queries (6 unique executions)" in text
+        assert "queries by plan version: v1=3, v2=5" in text
+        assert "swap -> version 2 (planner stream:greedy)" in text
+        assert "shed: throttled=1" in text
+        assert "throughput: 123.456 qps, p99 9.876ms" in text
 
     def test_attempts_attach_to_the_following_period(self):
         records = _synthetic_online_journal()

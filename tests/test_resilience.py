@@ -353,6 +353,7 @@ class TestFallbackChain:
         assert [s["step"] for s in result.diagnostics["fallback_chain"]] == [
             "lprr:auto",
             "lprr:simplex",
+            "stream:greedy",
             "greedy",
             "hash",
         ]
@@ -366,12 +367,13 @@ class TestFallbackChain:
 
         monkeypatch.setattr(lprr_mod, "LPRRPlanner", Broken)
         result = plan_with_fallbacks(problem, config=PlanConfig())
-        assert result.diagnostics["delegate"] == "greedy"
+        assert result.diagnostics["delegate"] == "stream:greedy"
         assert result.diagnostics["degraded"] is True
         chain = {s["step"]: s["outcome"] for s in result.diagnostics["fallback_chain"]}
         assert chain["lprr:auto"] == "failed"
         assert chain["lprr:simplex"] == "failed"
-        assert chain["greedy"] == "ok"
+        assert chain["stream:greedy"] == "ok"
+        assert chain["greedy"] == "skipped"
 
     def test_open_breaker_skips_backend(self, problem):
         breaker = backend_breaker("auto")
@@ -410,7 +412,7 @@ class TestFallbackChain:
         chain = {s["step"]: s for s in result.diagnostics["fallback_chain"]}
         assert chain["lprr:simplex"]["outcome"] == "skipped"
         assert "too large" in chain["lprr:simplex"]["detail"]
-        assert result.diagnostics["delegate"] == "greedy"
+        assert result.diagnostics["delegate"] == "stream:greedy"
 
     def test_lp_limits_surface_as_solver_error(self, problem):
         from repro.core.lp import solve_placement_lp

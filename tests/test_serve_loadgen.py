@@ -1,0 +1,168 @@
+"""Tests for deterministic load generation (repro.serve.loadgen), the
+OnlinePlanner publication hook, and the serve/loadgen CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.online import OnlineConfig, OnlinePlanner
+from repro.online.windows import TimedOperation, tumbling_periods
+from repro.serve import (
+    LoadgenConfig,
+    PlanSnapshot,
+    ServeConfig,
+    build_scenario,
+    run_loadgen,
+)
+
+SMALL = dict(duration_s=1.0, qps=1500.0, seed=3)
+
+
+def small_config(**overrides):
+    params = dict(SMALL)
+    params.update(overrides)
+    return LoadgenConfig(**params)
+
+
+class TestLoadgenDeterminism:
+    def test_same_seed_is_byte_identical(self):
+        first = run_loadgen(small_config())
+        second = run_loadgen(small_config())
+        assert first.to_json() == second.to_json()
+
+    def test_different_seed_differs(self):
+        first = run_loadgen(small_config())
+        other = run_loadgen(small_config(seed=4))
+        assert first.to_json() != other.to_json()
+
+
+class TestLoadgenReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_loadgen(small_config())
+
+    def test_conservation(self, report):
+        assert report.completed + sum(report.shed.values()) == report.offered
+        assert report.completed == report.admitted
+        assert sum(report.queries_by_version.values()) == report.completed
+
+    def test_hot_swaps_drop_nothing(self, report):
+        assert report.swaps == 3
+        assert report.dropped_in_flight == 0
+        # Every published version served traffic, and a plan cost was
+        # journaled for each.
+        assert set(report.queries_by_version) == {1, 2, 3, 4}
+        assert set(report.plan_costs) == {1, 2, 3, 4}
+
+    def test_latency_percentiles_ordered(self, report):
+        assert 0 < report.p50_ms <= report.p95_ms <= report.p99_ms
+        assert report.makespan_s > 0
+        assert report.throughput_qps > 0
+        assert report.availability == 1.0
+
+    def test_render_mentions_the_essentials(self, report):
+        text = report.render()
+        assert "plan swaps: 3" in text
+        assert "in-flight dropped: 0" in text
+        assert "p99" in text
+
+
+class TestBatchingThroughput:
+    def test_batched_beats_per_query_dispatch(self):
+        batched = run_loadgen(small_config())
+        per_query = run_loadgen(
+            small_config(serve=ServeConfig(max_batch=1))
+        )
+        assert batched.mode == "batched"
+        assert per_query.mode == "per_query"
+        # The full-size acceptance ratio (>= 10x) is pinned by the
+        # serve bench case; this scenario is deliberately small, so
+        # just require an unambiguous win at no latency cost.
+        assert batched.throughput_qps > 2.0 * per_query.throughput_qps
+        assert batched.p99_ms <= per_query.p99_ms
+
+
+class TestBuildScenario:
+    def test_stream_spans_both_halves(self):
+        config = small_config()
+        index, stream, warmup = build_scenario(config)
+        assert len(index) > 0
+        assert len(warmup) == config.warmup_queries
+        times = [timed.time_s for timed in stream]
+        assert times == sorted(times)
+        half = config.duration_s / 2.0
+        assert any(t < half for t in times)
+        assert any(t >= half for t in times)
+
+
+class TestOnPublishHook:
+    def test_hook_feeds_snapshots(self):
+        published = []
+        planner = OnlinePlanner(
+            {"a": 1.0, "b": 1.0},
+            OnlineConfig(num_nodes=2, window_s=10.0),
+            on_publish=lambda period, mapping: published.append(
+                (period, dict(mapping))
+            ),
+        )
+        planner.run([TimedOperation(0.0, ("a", "b"))] * 30)
+        assert published, "bootstrap must publish a plan"
+        period, mapping = published[0]
+        assert set(mapping) == {"a", "b"}
+        assert all(node in (0, 1) for node in mapping.values())
+
+    def test_no_publication_without_plan_change(self):
+        published = []
+        planner = OnlinePlanner(
+            {"a": 1.0, "b": 1.0},
+            OnlineConfig(num_nodes=2, window_s=10.0),
+            on_publish=lambda *args: published.append(args),
+        )
+        # Too few operations to bootstrap: pure observation.
+        period = next(
+            iter(tumbling_periods([TimedOperation(0.0, ("a",))], window_s=10.0))
+        )
+        planner.observe_period(period)
+        assert published == []
+
+
+CLI_ARGS = [
+    "loadgen",
+    "--duration", "1.0",
+    "--qps", "1500",
+    "--seed", "3",
+]
+
+
+class TestLoadgenCli:
+    def test_writes_report_and_renders(self, tmp_path, capsys):
+        out = tmp_path / "serve.json"
+        assert main([*CLI_ARGS, "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro.serve/v1"
+        assert payload["dropped_in_flight"] == 0
+        assert payload["swaps"] == 3
+        stdout = capsys.readouterr().out
+        assert "loadgen (batched)" in stdout
+
+    def test_byte_identical_across_runs(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        ja, jb = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        main([*CLI_ARGS, "--out", str(a), "--journal", str(ja)])
+        main([*CLI_ARGS, "--out", str(b), "--journal", str(jb)])
+        assert a.read_bytes() == b.read_bytes()
+        assert ja.read_bytes() == jb.read_bytes()
+
+    def test_journal_records_serve_events(self, tmp_path, capsys):
+        journal = tmp_path / "serve.jsonl"
+        main([*CLI_ARGS, "--journal", str(journal)])
+        kinds = {
+            json.loads(line)["kind"]
+            for line in journal.read_text().splitlines()
+        }
+        assert {"serve.start", "serve.swap", "serve.batch", "serve.end"} <= kinds
+
+    def test_per_query_mode_via_max_batch(self, capsys):
+        assert main([*CLI_ARGS, "--max-batch", "1", "--qps", "300"]) == 0
+        assert "loadgen (per_query)" in capsys.readouterr().out

@@ -1,0 +1,199 @@
+"""Tests for columnar traces (repro.workloads.traces.TraceColumns) and
+every consumer of the columnar fast path, each checked against the
+row-oriented oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.correlation import operation_pairs
+from repro.online.sketch import SketchCorrelationEstimator
+from repro.online.windows import DecayingEstimator
+from repro.search.documents import Corpus, Document
+from repro.search.engine import DistributedSearchEngine
+from repro.search.query import Query, QueryLog
+from repro.workloads.traces import TraceColumns
+
+
+def row_pairs(operations):
+    out = []
+    for op in operations:
+        out.extend(operation_pairs(op, "cooccurrence"))
+    return out
+
+
+OPERATIONS = [
+    ("b", "a", "c"),
+    ("a", "a", "b"),  # duplicate inside one operation
+    ("z",),  # singleton: no pairs
+    (),  # empty operation
+    ("c", "b"),
+    ("a", "b", "c", "d", "e"),
+]
+
+
+class TestFromOperations:
+    def test_roundtrip_preserves_rows_exactly(self):
+        columns = TraceColumns.from_operations(OPERATIONS)
+        assert list(columns.operations()) == OPERATIONS
+        assert list(columns) == OPERATIONS
+        assert len(columns) == len(OPERATIONS)
+
+    def test_codes_are_repr_order(self):
+        columns = TraceColumns.from_operations([("b", "a"), ("c",)])
+        assert columns.ids == ("a", "b", "c")
+        assert columns.codes.tolist() == [1, 0, 2]
+
+    def test_arrays_are_frozen(self):
+        columns = TraceColumns.from_operations(OPERATIONS)
+        with pytest.raises(ValueError):
+            columns.codes[0] = 5
+        with pytest.raises(ValueError):
+            columns.offsets[0] = 5
+
+    def test_times_validated_and_frozen(self):
+        columns = TraceColumns.from_operations(
+            [("a",), ("b",)], times=[0.0, 1.5]
+        )
+        assert columns.times.tolist() == [0.0, 1.5]
+        with pytest.raises(ValueError):
+            columns.times[0] = 9.0
+        with pytest.raises(ValueError, match="one entry per operation"):
+            TraceColumns.from_operations([("a",)], times=[0.0, 1.0])
+
+    def test_non_str_ids_clear_the_fast_path_gate(self):
+        columns = TraceColumns.from_operations([(1, 2), ("a", 3)])
+        assert not columns.all_str
+        assert list(columns.operations()) == [(1, 2), ("a", 3)]
+
+
+class TestCooccurrencePairs:
+    def test_matches_row_path_on_fixed_trace(self):
+        columns = TraceColumns.from_operations(OPERATIONS)
+        assert columns.cooccurrence_pairs() == row_pairs(OPERATIONS)
+
+    def test_matches_row_path_when_repr_and_value_order_diverge(self):
+        # repr('a\'b') == '"a\'b"' sorts differently from the raw value;
+        # the canonical flip must still agree with the row path.
+        tricky = [("a'b", 'x"y', "plain"), ('x"y', "a"), ("a'b", "a")]
+        columns = TraceColumns.from_operations(tricky)
+        assert columns.cooccurrence_pairs() == row_pairs(tricky)
+
+    def test_non_str_ids_use_the_row_fallback(self):
+        trace = [(3, 1, 2), (1, 2)]
+        columns = TraceColumns.from_operations(trace)
+        assert columns.cooccurrence_pairs() == row_pairs(trace)
+
+    def test_empty_trace(self):
+        assert TraceColumns.from_operations([]).cooccurrence_pairs() == []
+        assert TraceColumns.from_operations([(), ("x",)]).cooccurrence_pairs() == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.text(
+                    alphabet="abc'\"\\", min_size=1, max_size=3
+                ),
+                max_size=5,
+            ).map(tuple),
+            max_size=12,
+        )
+    )
+    def test_property_equivalence(self, operations):
+        columns = TraceColumns.from_operations(operations)
+        assert columns.cooccurrence_pairs() == row_pairs(operations)
+
+
+class TestEstimatorIngest:
+    def trace(self, seed=0, n=400):
+        rng = np.random.default_rng(seed)
+        words = [f"w{i}" for i in range(30)]
+        return [
+            tuple(rng.choice(words, size=rng.integers(1, 5)))
+            for _ in range(n)
+        ]
+
+    def test_observe_columns_equals_observe_trace(self):
+        trace = self.trace()
+        columns = TraceColumns.from_operations(trace)
+        by_rows = SketchCorrelationEstimator(seed=0)
+        by_rows.observe_trace(trace)
+        by_columns = SketchCorrelationEstimator(seed=0)
+        ops = by_columns.observe_columns(columns)
+        assert ops == len(trace)
+        assert by_rows.to_dict() == by_columns.to_dict()
+        assert by_rows.correlations() == by_columns.correlations()
+
+    def test_decaying_estimator_delegates(self):
+        trace = self.trace(seed=1)
+        columns = TraceColumns.from_operations(trace)
+        by_rows = DecayingEstimator(SketchCorrelationEstimator(seed=0), 0.5)
+        by_rows.observe_trace(trace)
+        by_rows.advance_period()
+        by_columns = DecayingEstimator(SketchCorrelationEstimator(seed=0), 0.5)
+        assert by_columns.observe_columns(columns) == len(trace)
+        by_columns.advance_period()
+        assert (
+            by_rows.estimator.to_dict() == by_columns.estimator.to_dict()
+        )
+
+    def test_decaying_estimator_row_fallback(self):
+        class RowsOnly:
+            """Minimal estimator without a columnar ingest."""
+
+            def __init__(self):
+                self.seen = []
+
+            def observe(self, operation):
+                self.seen.append(tuple(operation))
+
+        trace = [("a", "b"), ("c",)]
+        wrapper = DecayingEstimator(RowsOnly(), 1.0)
+        assert wrapper.observe_columns(
+            TraceColumns.from_operations(trace)
+        ) == len(trace)
+        assert wrapper.estimator.seen == trace
+
+
+class TestExecuteLogColumnar:
+    @pytest.fixture
+    def engine(self):
+        docs = []
+        for i in range(10):
+            words = {"alpha"}
+            if i % 2 == 0:
+                words.add("beta")
+            if i % 3 == 0:
+                words.add("gamma")
+            docs.append(Document(f"d{i}", frozenset(words)))
+        from repro.search.index import InvertedIndex
+
+        index = InvertedIndex.from_corpus(Corpus(docs))
+        placement = {"alpha": 0, "beta": 1, "gamma": 2}
+        return DistributedSearchEngine(index, placement)
+
+    def queries(self):
+        base = [
+            ("alpha",),
+            ("alpha", "beta"),
+            ("beta", "gamma"),
+            ("alpha", "beta", "gamma"),
+        ]
+        return [base[i % len(base)] for i in range(50)]
+
+    def test_columnar_replay_matches_row_replay(self, engine):
+        rows = self.queries()
+        columns = TraceColumns.from_operations(rows)
+        by_rows = engine.execute_log(QueryLog(Query(q) for q in rows))
+        by_columns = engine.execute_log(columns)
+        assert by_rows == by_columns
+
+    def test_columnar_replay_matches_undeduped_replay(self, engine):
+        rows = self.queries()
+        columns = TraceColumns.from_operations(rows)
+        legacy = engine.execute_log(
+            QueryLog(Query(q) for q in rows), dedup=False
+        )
+        assert engine.execute_log(columns) == legacy
