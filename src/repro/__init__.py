@@ -38,6 +38,7 @@ from repro.core import (
     PlanScope,
     ResourceSpec,
     RoundingResult,
+    WarmStart,
     available_planners,
     available_strategies,
     best_fit_decreasing_placement,
@@ -80,7 +81,7 @@ from repro.exceptions import (
     TraceFormatError,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "CircuitOpenError",
@@ -110,6 +111,7 @@ __all__ = [
     "RoundingResult",
     "SolverError",
     "Topology",
+    "WarmStart",
     "TraceFormatError",
     "available_planners",
     "available_strategies",

@@ -609,6 +609,39 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_gap(args: argparse.Namespace) -> int:
+    """Measure LPRR and first-order optimality gaps on small instances.
+
+    Draws seeded small instances, solves each to proven optimality
+    (branch and bound by default, CP-SAT with ``--reference cpsat``
+    when ortools is installed), plans the same instances with HiGHS
+    LPRR and the first-order backend, and prints per-instance cost
+    ratios.  The :class:`~repro.gap.GapReport` — a pure function of
+    the seed, byte-identical across runs — goes to ``--out``.
+    """
+    from repro.gap import run_gap
+
+    try:
+        report = run_gap(
+            seed=args.seed,
+            instances=args.instances,
+            objects=args.objects,
+            nodes=args.nodes,
+            reference=args.reference,
+        )
+    except Exception as exc:
+        # The cpsat reference without ortools lands here with the
+        # install hint; keep it a clean CLI error, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(f"wrote gap report to {args.out}", file=sys.stderr)
+    print(report.render())
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Analyze a journal or metrics artifact from an earlier run.
 
@@ -915,7 +948,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--tags",
         default=None,
-        help="comma-separated stages to run (plan,evaluate,online-ingest,pg,rep)",
+        help=(
+            "comma-separated stages to run "
+            "(plan,evaluate,online-ingest,pg,rep,serve,solve)"
+        ),
     )
     p.add_argument("--out", metavar="PATH", default=None, help="write report JSON")
     p.add_argument(
@@ -932,6 +968,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_args(p)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "gap", help="optimality gap of LPRR/first-order vs an exact reference"
+    )
+    p.add_argument("--seed", type=int, default=0, help="instance seed")
+    p.add_argument(
+        "--instances", type=int, default=8, help="seeded instances to draw"
+    )
+    p.add_argument(
+        "--objects", type=int, default=12,
+        help="objects per instance (keep <= 18 for the exact reference)",
+    )
+    p.add_argument("--nodes", type=int, default=3, help="nodes per instance")
+    p.add_argument(
+        "--reference",
+        choices=("exact", "cpsat"),
+        default="exact",
+        help=(
+            "proven-optimal reference: built-in branch and bound, or "
+            "CP-SAT (needs the repro[exact] extra)"
+        ),
+    )
+    p.add_argument("--out", metavar="PATH", default=None, help="write report JSON")
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_gap)
 
     p = sub.add_parser(
         "trace", help="analyze a journal or metrics artifact from a run"

@@ -21,7 +21,7 @@ from repro.core.greedy import greedy_placement
 from repro.core.hashing import hash_node, random_hash_placement
 from repro.core.importance import importance_ranking, importance_scores, top_important
 from repro.core.local_search import local_search_placement
-from repro.core.lp import FractionalPlacement, LPStats, build_placement_lp, solve_placement_lp
+from repro.core.lp import FractionalPlacement, LPStats, WarmStart, build_placement_lp, solve_placement_lp
 from repro.core.lprr import LPRRPlanner, LPRRResult
 from repro.core.migration import (
     Migration,
@@ -75,6 +75,7 @@ __all__ = [
     "CorrelationEstimator",
     "ExactSolution",
     "FractionalPlacement",
+    "WarmStart",
     "LPRRPlanner",
     "LPRRResult",
     "Migration",

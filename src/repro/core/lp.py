@@ -26,6 +26,7 @@ The result is the same LP optimum with ``|E|`` fewer variables and
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -87,6 +88,65 @@ class FractionalPlacement:
     def expected_node_loads(self) -> np.ndarray:
         """Expected per-node load ``Σ_i x[i,k] * s(i)`` (Theorem 3)."""
         return self.fractions.T @ self.problem.sizes
+
+
+@dataclass(frozen=True)
+class WarmStart:
+    """A fractional solution carried between solves (docs/SOLVERS.md).
+
+    Keyed by object and node *ids*, not indices, so a warm start
+    survives scope changes between replans: objects that entered or
+    left the heavy-hitter scope simply miss (and start uniform), while
+    the stable majority resumes from its previous fractions.  Only the
+    first-order backend consumes warm starts; the LP backends ignore
+    them (HiGHS re-factorizes regardless).
+    """
+
+    node_ids: tuple[Any, ...]
+    rows: dict[Any, tuple[float, ...]]
+
+    @classmethod
+    def from_fractional(cls, fractional: FractionalPlacement) -> "WarmStart":
+        """Capture a solved relaxation as a reusable warm start."""
+        problem = fractional.problem
+        return cls(
+            node_ids=problem.node_ids,
+            rows={
+                obj: tuple(fractional.fractions[i])
+                for i, obj in enumerate(problem.object_ids)
+            },
+        )
+
+    def matrix(self, problem: PlacementProblem) -> tuple[np.ndarray | None, int]:
+        """Map the stored rows onto ``problem``'s index space.
+
+        Returns ``(x0, hits)`` where ``hits`` counts objects whose
+        previous fractions were found; unmatched objects get uniform
+        rows.  Returns ``(None, 0)`` when nothing matches (node set
+        changed entirely, or disjoint objects) — a cold start.
+        """
+        n = problem.num_nodes
+        columns = {node: k for k, node in enumerate(self.node_ids)}
+        node_map = [columns.get(node) for node in problem.node_ids]
+        if all(k is None for k in node_map):
+            return None, 0
+        x0 = np.full((problem.num_objects, n), 1.0 / n)
+        hits = 0
+        for i, obj in enumerate(problem.object_ids):
+            row = self.rows.get(obj)
+            if row is None:
+                continue
+            mapped = np.full(n, 0.0)
+            for k, source in enumerate(node_map):
+                if source is not None and source < len(row):
+                    mapped[k] = row[source]
+            total = mapped.sum()
+            if total > 0:
+                x0[i] = mapped / total
+                hits += 1
+        if hits == 0:
+            return None, 0
+        return x0, hits
 
 
 def build_placement_lp(problem: PlacementProblem) -> LinearProgram:
@@ -257,18 +317,29 @@ def solve_placement_lp(
     backend: str = "auto",
     time_limit: float | None = None,
     iteration_limit: int | None = None,
+    warm_start: WarmStart | None = None,
 ) -> FractionalPlacement:
     """Solve the relaxed placement LP and extract the fractional scheme.
 
     Args:
         problem: The CCA instance.
-        backend: LP backend name (``"auto"``, ``"highs"``,
-            ``"highs-ipm"``, or ``"simplex"``).
-        time_limit: Optional solver wall-clock budget in seconds; an
-            exceeded budget surfaces as :class:`SolverError`, which the
-            resilient planning chain treats as "try the next backend".
+        backend: Relaxation backend name: ``"auto"``, ``"highs"``,
+            ``"highs-ipm"``, or ``"simplex"`` solve the Figure 4 LP
+            exactly; ``"fo"`` runs the first-order projected-gradient
+            solver (:mod:`repro.lpsolve.firstorder`) on the same
+            objective — approximate but 10-100x more scalable and warm-
+            startable.
+        time_limit: Optional solver wall-clock budget in seconds; for
+            LP backends an exceeded budget surfaces as
+            :class:`SolverError`, which the resilient planning chain
+            treats as "try the next backend"; the first-order backend
+            instead returns its current iterate (and loses byte-
+            reproducibility — leave unset for deterministic runs).
         iteration_limit: Optional solver iteration budget, same
-            semantics.
+            semantics for LP backends; caps the first-order backend
+            deterministically.
+        warm_start: Optional previous fractional solution; consumed
+            only by the ``"fo"`` backend (LP backends ignore it).
 
     Returns:
         The optimal :class:`FractionalPlacement`.
@@ -283,6 +354,13 @@ def solve_placement_lp(
         raise InfeasibleProblemError(
             f"total object size {problem.total_size:.6g} exceeds "
             f"total capacity {problem.total_capacity:.6g}"
+        )
+    if backend == "fo":
+        return _solve_placement_first_order(
+            problem,
+            time_limit=time_limit,
+            iteration_limit=iteration_limit,
+            warm_start=warm_start,
         )
     with obs.span("lp", objects=problem.num_objects, nodes=problem.num_nodes):
         with obs.span("lp.build"):
@@ -334,4 +412,94 @@ def solve_placement_lp(
     )
     return FractionalPlacement(
         problem, fractions, float(result.objective), stats, capacity_duals
+    )
+
+
+def _solve_placement_first_order(
+    problem: PlacementProblem,
+    time_limit: float | None,
+    iteration_limit: int | None,
+    warm_start: WarmStart | None,
+) -> FractionalPlacement:
+    """Solve the relaxation approximately with the first-order backend.
+
+    The gradient solver works on the compact ``(t, n)`` fractional
+    matrix directly — no ``y`` variables, no explicit rows — so the
+    reported :class:`LPStats` describe that formulation (``t*n``
+    variables, one "constraint" per simplex row and per capacity-like
+    budget).  One semantic caveat: ``lower_bound`` here is the relaxed
+    objective *at the returned iterate*, an upper bound on the true LP
+    optimum rather than a certified lower bound on the integral cost.
+    The optimality-gap harness (``repro gap``) exists to measure what
+    that approximation costs.
+
+    Emits one ``plan.warm_start`` journal record per solve with the
+    warm/cold decision and iteration count.
+    """
+    from repro.lpsolve.firstorder import FirstOrderOptions, solve_first_order
+
+    t, n = problem.num_objects, problem.num_nodes
+    x0 = None
+    hits = 0
+    if warm_start is not None:
+        x0, hits = warm_start.matrix(problem)
+    warm = x0 is not None
+
+    knobs: dict[str, Any] = {"time_limit": time_limit}
+    if iteration_limit is not None:
+        knobs["max_iterations"] = iteration_limit
+    options = FirstOrderOptions(**knobs)
+
+    with obs.span("lp", objects=t, nodes=n, backend="fo"):
+        finite_caps = int(np.isfinite(problem.capacities).sum())
+        budget_rows = sum(
+            int(np.isfinite(spec.budgets).sum()) for spec in problem.resources
+        )
+        obs.gauge("lp.num_variables").set(t * n)
+        obs.gauge("lp.num_constraints").set(t + finite_caps + budget_rows)
+        with obs.timed("lp.solve", backend="fo") as solve_span:
+            solution = solve_first_order(
+                problem.sizes,
+                problem.capacities,
+                problem.pair_index,
+                problem.pair_weights,
+                n,
+                resources=tuple(
+                    (np.asarray(spec.loads), np.asarray(spec.budgets))
+                    for spec in problem.resources
+                ),
+                x0=x0,
+                warm=warm,
+                options=options,
+            )
+        elapsed = solve_span.duration
+        solve_span.set(
+            status="CONVERGED" if solution.converged else "ITERATION_LIMIT",
+            iterations=solution.iterations,
+        )
+        obs.histogram("lp.solve_seconds").observe(elapsed)
+        obs.counter("lp.solves").inc()
+        obs.record(
+            "plan.warm_start",
+            backend="fo",
+            warm="hit" if warm else ("miss" if warm_start is not None else "off"),
+            hits=hits,
+            objects=t,
+            iterations=solution.iterations,
+            converged=solution.converged,
+        )
+
+    stats = LPStats(
+        num_variables=t * n,
+        num_constraints=t + finite_caps + budget_rows,
+        num_nonzeros=int(2 * np.count_nonzero(problem.pair_weights) + t * n),
+        solve_seconds=elapsed,
+        iterations=solution.iterations,
+    )
+    return FractionalPlacement(
+        problem,
+        solution.fractions,
+        float(solution.objective),
+        stats,
+        capacity_duals=solution.duals,
     )

@@ -26,7 +26,12 @@ from repro.core.decompose import component_subproblems
 from repro.core.greedy import greedy_placement
 from repro.core.hashing import hash_node
 from repro.core.importance import top_important
-from repro.core.lp import FractionalPlacement, LPStats, solve_placement_lp
+from repro.core.lp import (
+    FractionalPlacement,
+    LPStats,
+    WarmStart,
+    solve_placement_lp,
+)
 from repro.core.placement import Placement
 from repro.core.problem import ObjectId, PlacementProblem
 from repro.core.repair import repair_capacity
@@ -55,6 +60,11 @@ class LPRRResult:
         from_cache: Whether this result was served from a
             :class:`~repro.parallel.cache.PlanCache` instead of being
             computed (the LP solve and rounding were skipped).
+        fractional: The scoped fractional solution itself, carried so
+            a later replan can warm-start the first-order backend from
+            it (see :class:`~repro.core.lp.WarmStart`).  ``None`` for
+            decomposed plans and for cached artifacts written before
+            warm-start support.
     """
 
     placement: Placement
@@ -65,6 +75,7 @@ class LPRRResult:
     effective_capacities: np.ndarray
     repaired: bool
     from_cache: bool = False
+    fractional: FractionalPlacement | None = None
 
     @property
     def cost(self) -> float:
@@ -99,8 +110,16 @@ class LPRRPlanner:
         capacity_tolerance: Relative slack when judging a rounding
             trial feasible (Theorem 3 only bounds the *expected* load).
         seed: Seed for the rounding randomness.
-        backend: LP backend (``"auto"``, ``"highs"``, ``"highs-ipm"``,
-            or ``"simplex"``).
+        backend: Relaxation backend (``"auto"``, ``"highs"``,
+            ``"highs-ipm"``, ``"simplex"``, or ``"fo"`` for the
+            first-order solver — see docs/SOLVERS.md).
+        rounding: ``"randomized"`` (default) runs the paper's
+            best-of-``k`` dependent rounding; ``"argmax"`` rounds each
+            row to its largest fraction and repairs capacity greedily
+            — deterministic without a seed, and the natural partner of
+            the ``"fo"`` backend, whose annealed iterates are already
+            near-integral (randomized rounding remains available for
+            any backend combination).
         hash_salt: Salt for the out-of-scope hash placement.
         repair: When True (default), a rounded placement that exceeds
             the effective capacities beyond ``capacity_tolerance`` is
@@ -134,6 +153,13 @@ class LPRRPlanner:
             planning chain catches it and falls back).
         lp_iteration_limit: Optional LP solver iteration budget, same
             semantics.
+        warm_start: Optional :class:`~repro.core.lp.WarmStart` from a
+            previous plan's ``fractional``; consumed only by the
+            ``"fo"`` backend, where it skips the annealing phase and
+            typically converges in a fraction of the cold iterations.
+            A warm-started plan bypasses the plan and LP caches in
+            both directions (its result depends on state outside the
+            cache signature).
 
     Example:
         >>> import numpy as np
@@ -162,17 +188,24 @@ class LPRRPlanner:
         cache: "PlanCache | None" = None,
         lp_time_limit: float | None = None,
         lp_iteration_limit: int | None = None,
+        rounding: str = "randomized",
+        warm_start: WarmStart | None = None,
     ):
         if scope is not None and scope < 1:
             raise ValueError("scope must be positive (or None for full scope)")
         if capacity_factor is not None and capacity_factor <= 0:
             raise ValueError("capacity_factor must be positive")
+        if rounding not in ("randomized", "argmax"):
+            raise ValueError(
+                f"unknown rounding {rounding!r}; use 'randomized' or 'argmax'"
+            )
         self.scope = scope
         self.capacity_factor = capacity_factor
         self.rounding_trials = rounding_trials
         self.capacity_tolerance = capacity_tolerance
         self.seed = seed
         self.backend = backend
+        self.rounding = rounding
         self.hash_salt = hash_salt
         self.repair = repair
         self.decompose = decompose
@@ -180,6 +213,12 @@ class LPRRPlanner:
         self.cache = cache
         self.lp_time_limit = lp_time_limit
         self.lp_iteration_limit = lp_iteration_limit
+        self.warm_start = warm_start
+        # Filled by each _plan call: backend name, warm-start outcome
+        # ("hit"/"miss"/"off"), matched-object count, solver iterations,
+        # and argmax repair moves.  Planner strategies copy this into
+        # PlanResult.diagnostics.
+        self.last_solver_info: dict = {}
 
     def _signature(self) -> str:
         """Canonical configuration signature for cache keying.
@@ -205,12 +244,15 @@ class LPRRPlanner:
             # instead of in pre-drawn blocks.
             "engine": "legacy" if self.jobs is None else "spawned-seeds-batched",
         }
-        # Solve limits join the key only when set, so existing caches
-        # stay valid for the (default) unlimited configuration.
+        # Solve limits and non-default rounding join the key only when
+        # set, so existing caches stay valid for the (default)
+        # unlimited randomized configuration.
         if self.lp_time_limit is not None:
             knobs["lp_time_limit"] = self.lp_time_limit
         if self.lp_iteration_limit is not None:
             knobs["lp_iteration_limit"] = self.lp_iteration_limit
+        if self.rounding != "randomized":
+            knobs["rounding"] = self.rounding
         return json.dumps(knobs, sort_keys=True)
 
     def plan(self, problem: PlacementProblem) -> LPRRResult:
@@ -219,9 +261,11 @@ class LPRRPlanner:
         With a cache configured, a fingerprint hit returns the stored
         result (``from_cache=True``) without building or solving any
         LP; otherwise the freshly planned result is stored before
-        returning.
+        returning.  A warm-started plan skips the cache in both
+        directions: its result depends on the previous fractional
+        solution, which is not part of the cache signature.
         """
-        if self.cache is None:
+        if self.cache is None or self.warm_start is not None:
             return self._plan(problem)
 
         from repro.parallel.cache import problem_fingerprint, signature_key
@@ -252,9 +296,10 @@ class LPRRPlanner:
 
         LP artifacts are keyed by subproblem + backend only, so a
         replan with a different seed or trial count still reuses the
-        expensive solve and only re-rounds.
+        expensive solve and only re-rounds.  Warm-started solves skip
+        the cache (same reasoning as in :meth:`plan`).
         """
-        if self.cache is None:
+        if self.cache is None or self.warm_start is not None:
             return self._solve_lp_fresh(subproblem)
 
         from repro.core.serialization import (
@@ -285,10 +330,13 @@ class LPRRPlanner:
             backend=self.backend,
             time_limit=self.lp_time_limit,
             iteration_limit=self.lp_iteration_limit,
+            warm_start=self.warm_start,
         )
 
     def _round(self, fractional: FractionalPlacement) -> RoundingResult:
-        """Best-of-``k`` rounding via the engine selected by ``jobs``."""
+        """Round per ``self.rounding`` via the engine selected by ``jobs``."""
+        if self.rounding == "argmax":
+            return self._round_argmax(fractional)
         if self.jobs is None:
             return round_best_of(
                 fractional,
@@ -304,6 +352,36 @@ class LPRRPlanner:
             root_seed=self.seed,
             jobs=self.jobs,
             capacity_tolerance=self.capacity_tolerance,
+        )
+
+    def _round_argmax(self, fractional: FractionalPlacement) -> RoundingResult:
+        """Deterministic rounding: per-row argmax + greedy repair.
+
+        A single trial with no randomness; capacity overflow is
+        repaired greedily along the fractions (see
+        :func:`repro.lpsolve.firstorder.greedy_capacity_repair`), and
+        anything it cannot drain is left to the planner-level repair.
+        """
+        from repro.lpsolve.firstorder import greedy_capacity_repair, round_argmax
+
+        problem = fractional.problem
+        assignment = round_argmax(fractional.fractions)
+        assignment, moves = greedy_capacity_repair(
+            assignment,
+            fractional.fractions,
+            problem.sizes,
+            problem.capacities,
+            tolerance=self.capacity_tolerance,
+        )
+        self.last_solver_info["repair_moves"] = moves
+        placement = Placement(problem, assignment)
+        cost = placement.communication_cost()
+        return RoundingResult(
+            placement=placement,
+            cost=cost,
+            trials=1,
+            trial_costs=(cost,),
+            rounds=0,
         )
 
     def _plan(self, problem: PlacementProblem) -> LPRRResult:
@@ -332,6 +410,15 @@ class LPRRPlanner:
 
             capacities = self._effective_capacities(problem, scoped_ids)
             subproblem = problem.subproblem(scoped_ids, capacities=capacities)
+            self.last_solver_info = {"backend": self.backend}
+            if self.backend == "fo":
+                if self.warm_start is None:
+                    self.last_solver_info["warm_start"] = "off"
+                else:
+                    _, hits = self.warm_start.matrix(subproblem)
+                    self.last_solver_info["warm_start"] = "hit" if hits else "miss"
+                    self.last_solver_info["warm_hits"] = hits
+            fractional = None
             with obs.span("lprr.lp", decompose=self.decompose):
                 if self.decompose:
                     rounding, lower_bound, stats = self._plan_decomposed(subproblem)
@@ -340,6 +427,7 @@ class LPRRPlanner:
                     rounding = self._round(fractional)
                     lower_bound = fractional.lower_bound
                     stats = fractional.stats
+            self.last_solver_info["iterations"] = stats.iterations
             scoped_placement = rounding.placement
             repaired = False
             if self.repair and not scoped_placement.is_feasible(
@@ -385,6 +473,7 @@ class LPRRPlanner:
             rounding=rounding,
             effective_capacities=capacities,
             repaired=repaired,
+            fractional=fractional,
         )
 
     def _plan_decomposed(
@@ -413,7 +502,9 @@ class LPRRPlanner:
         total_seconds = 0.0
         total_iterations = 0
         total_rounds = 0
-        if self.jobs is None:
+        # Argmax rounding has no per-trial seed streams to spawn, so
+        # the parallel fan-out buys nothing over the sequential loop.
+        if self.jobs is None or self.rounding == "argmax":
             base_seed = 0 if self.seed is None else self.seed
             for index, component in enumerate(components):
                 with obs.span(
@@ -426,12 +517,15 @@ class LPRRPlanner:
                     total_nnz += fractional.stats.num_nonzeros
                     total_seconds += fractional.stats.solve_seconds
                     total_iterations += fractional.stats.iterations
-                    rounding = round_best_of(
-                        fractional,
-                        trials=self.rounding_trials,
-                        rng=base_seed + index,
-                        capacity_tolerance=self.capacity_tolerance,
-                    )
+                    if self.rounding == "argmax":
+                        rounding = self._round_argmax(fractional)
+                    else:
+                        rounding = round_best_of(
+                            fractional,
+                            trials=self.rounding_trials,
+                            rng=base_seed + index,
+                            capacity_tolerance=self.capacity_tolerance,
+                        )
                 total_rounds += rounding.rounds
                 for local_i, obj in enumerate(component.object_ids):
                     assignment[subproblem.object_index(obj)] = (

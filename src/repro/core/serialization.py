@@ -284,7 +284,7 @@ def lprr_result_to_dict(result: "LPRRResult") -> dict:
     the exact subproblem the rounding placement lives on.
     """
     problem = result.placement.problem
-    return {
+    doc = {
         "schema": LPRR_RESULT_SCHEMA,
         "scope_indices": [
             problem.object_index(obj) for obj in result.scope_objects
@@ -298,6 +298,12 @@ def lprr_result_to_dict(result: "LPRRResult") -> dict:
         "rounding": rounding_result_to_dict(result.rounding),
         **_assignment_fields(result.placement),
     }
+    # Optional: the scoped fractional solution, carried for warm
+    # starts.  Absent on decomposed plans and pre-warm-start artifacts;
+    # from_dict tolerates either.
+    if result.fractional is not None:
+        doc["fractional"] = fractional_to_dict(result.fractional)
+    return doc
 
 
 def lprr_result_from_dict(data: dict, problem: PlacementProblem) -> "LPRRResult":
@@ -314,6 +320,9 @@ def lprr_result_from_dict(data: dict, problem: PlacementProblem) -> "LPRRResult"
             [_decode_capacity(c) for c in data["effective_capacities"]]
         )
         subproblem = problem.subproblem(scope_objects, capacities=capacities)
+        fractional = None
+        if "fractional" in data:
+            fractional = fractional_from_dict(data["fractional"], subproblem)
         return LPRRResult(
             placement=Placement(
                 problem, np.asarray(data["assignment"], dtype=np.int64)
@@ -324,6 +333,7 @@ def lprr_result_from_dict(data: dict, problem: PlacementProblem) -> "LPRRResult"
             rounding=rounding_result_from_dict(data["rounding"], subproblem),
             effective_capacities=capacities,
             repaired=bool(data["repaired"]),
+            fractional=fractional,
         )
     except (KeyError, TypeError, ValueError, IndexError) as exc:
         raise TraceFormatError(f"malformed LPRR result: {exc}") from exc

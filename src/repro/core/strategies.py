@@ -196,6 +196,11 @@ class PlanConfig:
             flat every-node-its-own-domain model.  Replicated plans
             bypass the plan cache (the topology is not part of the
             cache signature).
+        warm_start: A :class:`~repro.core.lp.WarmStart` seeding the
+            first-order backend's fractional iterate; consumed only by
+            ``lprr:fo`` (and ``backend="fo"``), ignored everywhere
+            else.  Warm-started plans bypass the plan and LP caches
+            (the warm start is not part of the cache signature).
     """
 
     scope: int | PlanScope | None = None
@@ -214,6 +219,7 @@ class PlanConfig:
     use_cache: bool = True
     replicas: int = 1
     topology: Any | None = None
+    warm_start: Any | None = None
 
     def with_options(self, **changes: Any) -> "PlanConfig":
         """A copy with the given fields replaced."""
@@ -266,6 +272,14 @@ class PlanResult:
     elapsed_seconds: float
     diagnostics: dict[str, Any] = field(default_factory=dict)
     details: Any | None = None
+
+    @property
+    def fractional(self) -> Any | None:
+        """The fractional LP solution when the planner carried one
+        (``lprr``/``lprr:fo`` exact-scope runs), else ``None``.  Used
+        by :class:`~repro.online.controller.OnlinePlanner` to build
+        the next replan's warm start."""
+        return getattr(self.details, "fractional", None)
 
     def to_dict(self) -> dict:
         """JSON-ready form sharing the serialization-module schema."""
@@ -503,6 +517,7 @@ def _lprr_planner(
         capacity_tolerance=config.capacity_tolerance,
         seed=config.seed,
         backend=config.backend,
+        warm_start=config.warm_start if config.backend == "fo" else None,
         lp_time_limit=config.lp_time_limit,
         lp_iteration_limit=config.lp_iteration_limit,
         hash_salt=config.hash_salt,
@@ -522,6 +537,11 @@ def _lprr_planner(
         "jobs": config.jobs,
         "cache": cache_state,
     }
+    if config.backend == "fo":
+        solver_info = planner.last_solver_info
+        diagnostics["warm_start"] = solver_info.get("warm_start", "off")
+        diagnostics["warm_hits"] = solver_info.get("warm_hits", 0)
+        diagnostics["fo_iterations"] = solver_info.get("iterations", 0)
     return _finish("lprr", result.placement, span.duration, diagnostics, result)
 
 
@@ -534,6 +554,105 @@ def _lprr_pg_planner(
     from repro.pg.planner import plan_with_groups
 
     return plan_with_groups(problem, config=config)
+
+
+@register_planner("lprr:fo")
+def _lprr_fo_planner(
+    problem: PlacementProblem, *, config: PlanConfig = PlanConfig()
+) -> PlanResult:
+    """LPRR on the first-order backend: mean-field annealing over the
+    fractional placement, argmax rounding, greedy capacity repair.
+
+    Trades the LP's certified optimum for 10-100x more exact-scope
+    headroom, and accepts ``config.warm_start`` so consecutive online
+    replans skip the annealing phase entirely.
+    """
+    # Imported lazily to avoid a cycle (lprr composes other strategies).
+    from repro.core.lprr import LPRRPlanner
+
+    cache = config.make_cache()
+    planner = LPRRPlanner(
+        scope=config.scope_limit(problem),
+        capacity_factor=config.capacity_factor,
+        rounding_trials=1,
+        capacity_tolerance=config.capacity_tolerance,
+        seed=config.seed,
+        backend="fo",
+        rounding="argmax",
+        warm_start=config.warm_start,
+        lp_time_limit=config.lp_time_limit,
+        lp_iteration_limit=config.lp_iteration_limit,
+        hash_salt=config.hash_salt,
+        repair=config.repair,
+        decompose=config.decompose,
+        jobs=config.jobs,
+        cache=cache,
+    )
+    with obs.timed("plan", planner="lprr:fo") as span:
+        result = planner.plan(problem)
+    cache_state = "off" if cache is None else ("hit" if result.from_cache else "miss")
+    solver_info = planner.last_solver_info
+    diagnostics = {
+        "lp_lower_bound": float(result.lp_lower_bound),
+        "scope": len(result.scope_objects),
+        "repaired": result.repaired,
+        "jobs": config.jobs,
+        "cache": cache_state,
+        "warm_start": solver_info.get("warm_start", "off"),
+        "warm_hits": solver_info.get("warm_hits", 0),
+        "fo_iterations": solver_info.get("iterations", 0),
+        "repair_moves": solver_info.get("repair_moves", 0),
+    }
+    return _finish("lprr:fo", result.placement, span.duration, diagnostics, result)
+
+
+def _exact_cpsat_planner(
+    problem: PlacementProblem, *, config: PlanConfig = PlanConfig()
+) -> PlanResult:
+    """Exact placement via CP-SAT (requires the ``repro[exact]`` extra).
+
+    Solves the full problem to proven optimality — no scoping, no
+    rounding — so it only suits small instances (the gap harness's
+    reference).  Registered only when ``ortools`` imports (see
+    :func:`_register_cpsat`); calling
+    :func:`~repro.lpsolve.cpsat_backend.solve_placement_cpsat` without
+    it raises :class:`~repro.exceptions.SolverError` with an install
+    hint.
+    """
+    from repro.lpsolve.cpsat_backend import solve_placement_cpsat
+
+    with obs.timed("plan", planner="exact:cpsat") as span:
+        solution = solve_placement_cpsat(
+            problem,
+            time_limit=config.lp_time_limit,
+            seed=config.seed,
+        )
+    diagnostics = {
+        "status": solution.status,
+        "objective_bound": float(solution.objective_bound),
+        "optimal": solution.optimal,
+    }
+    return _finish(
+        "exact:cpsat", solution.placement, span.duration, diagnostics, solution
+    )
+
+
+def _register_cpsat() -> None:
+    """Register ``exact:cpsat`` only when ortools is importable.
+
+    The guard keeps ``available_planners()`` honest: every listed
+    planner can actually plan.  Without the ``repro[exact]`` extra the
+    name simply does not exist (an explicit request then fails with
+    the registry's unknown-planner error, and the backend module's
+    install hint is one import away).
+    """
+    from repro.lpsolve.cpsat_backend import HAS_ORTOOLS
+
+    if HAS_ORTOOLS:
+        register_planner("exact:cpsat")(_exact_cpsat_planner)
+
+
+_register_cpsat()
 
 
 def _finish_replicated(

@@ -130,6 +130,10 @@ def plan_with_groups(
     spec = resolve_pg_scope(problem, config)
     with obs.timed("plan", planner="lprr:pg") as span:
         cache = config.make_cache()
+        if config.warm_start is not None:
+            # Warm-started aggregate solves depend on state outside the
+            # cache signature; skip the pg cache like LPRR skips its own.
+            cache = None
         key = None
         pg_map = None
         cached: dict | None = None

@@ -9,7 +9,8 @@ Three composable defenses against a planning pipeline that can fail:
   through (*half-open*) before trusting it again (*closed*).  Keeps a
   flaky LP backend from stalling every plan with a doomed attempt.
 * :func:`plan_with_fallbacks` — the ``"resilient"`` planner: try LPRR
-  on the configured backend, then LPRR on the self-contained simplex,
+  on the configured backend, then the dependency-free first-order
+  backend (``lprr:fo``), then LPRR on the self-contained simplex,
   then greedy, then hash.  The first success wins; every attempt —
   successes, failures, and circuit-open skips — is recorded in
   ``PlanResult.diagnostics["fallback_chain"]`` so a degraded plan is
@@ -282,10 +283,12 @@ def plan_with_fallbacks(
 ) -> PlanResult:
     """Plan with graceful degradation instead of failure.
 
-    The chain, in order: LPRR on the configured backend; LPRR on the
-    self-contained ``simplex`` backend (skipped when the configured
-    backend already *is* simplex, or when the LP is too large for the
-    dense solver); ``greedy``; ``hash``.  Placement-group scopes
+    The chain, in order: LPRR on the configured backend; ``lprr:fo``
+    (the pure-NumPy first-order backend, skipped when the configured
+    backend already *is* ``fo``); LPRR on the self-contained
+    ``simplex`` backend (skipped when the configured backend already
+    *is* simplex, or when the LP is too large for the dense solver);
+    ``stream:greedy``; ``greedy``; ``hash``.  Placement-group scopes
     (``PlanScope.pg``) swap the LPRR steps for ``lprr:pg`` on the same
     backends, sized against the coarse problem.  Replicated configs
     (``config.replicas > 1``) swap the whole chain for the
@@ -426,6 +429,17 @@ def plan_with_fallbacks(
                     lambda: plan(problem, "lprr", config),
                 )
             ]
+            if config.backend != "fo":
+                # The first-order backend has no library dependency and
+                # no LP-size ceiling, so it backstops every exact
+                # backend before the dense simplex retry.
+                steps.append(
+                    (
+                        "lprr:fo",
+                        "fo",
+                        lambda: plan(problem, "lprr:fo", config),
+                    )
+                )
             if config.backend != "simplex":
                 if _lp_variables(problem, config) <= SIMPLEX_FALLBACK_MAX_VARIABLES:
                     steps.append(
@@ -481,7 +495,7 @@ def plan_with_fallbacks(
         obs.record(
             "plan.fallback",
             delegate=result.planner,
-            degraded=result.planner not in ("lprr", "lprr:pg", "lprr:rep"),
+            degraded=result.planner not in ("lprr", "lprr:fo", "lprr:pg", "lprr:rep"),
             chain=[s.to_dict() for s in chain],
         )
 
@@ -489,7 +503,7 @@ def plan_with_fallbacks(
         **result.diagnostics,
         "delegate": result.planner,
         "fallback_chain": [s.to_dict() for s in chain],
-        "degraded": result.planner not in ("lprr", "lprr:pg", "lprr:rep"),
+        "degraded": result.planner not in ("lprr", "lprr:fo", "lprr:pg", "lprr:rep"),
     }
     return replace(result, planner="resilient", diagnostics=diagnostics)
 

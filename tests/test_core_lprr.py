@@ -128,3 +128,50 @@ class TestCapacityModes:
         )
         result = LPRRPlanner(capacity_factor=2.0, seed=0).plan(problem)
         assert result.effective_capacities[0] >= 100.0
+
+
+class TestFractionalSerialization:
+    """LPRRResult carries its fractional solution through round trips."""
+
+    def test_round_trip_preserves_fractional(self):
+        from repro.core.lprr import LPRRResult
+
+        problem = clustered_problem()
+        result = LPRRPlanner(seed=0, backend="fo", rounding="argmax").plan(
+            problem
+        )
+        assert result.fractional is not None
+        rebuilt = LPRRResult.from_dict(result.to_dict(), problem)
+        np.testing.assert_allclose(
+            rebuilt.fractional.fractions, result.fractional.fractions
+        )
+        assert np.array_equal(
+            rebuilt.placement.assignment, result.placement.assignment
+        )
+
+    def test_from_dict_tolerates_pre_warm_start_documents(self):
+        from repro.core.lprr import LPRRResult
+
+        problem = clustered_problem()
+        result = LPRRPlanner(seed=0).plan(problem)
+        doc = result.to_dict()
+        doc.pop("fractional", None)
+        rebuilt = LPRRResult.from_dict(doc, problem)
+        assert rebuilt.fractional is None
+        assert rebuilt.cost == pytest.approx(result.cost)
+
+    def test_warm_start_bypasses_plan_cache(self):
+        from repro.core.lp import WarmStart
+
+        problem = clustered_problem()
+        cold = LPRRPlanner(seed=0, backend="fo", rounding="argmax").plan(
+            problem
+        )
+        warm_start = WarmStart.from_fractional(cold.fractional)
+        planner = LPRRPlanner(
+            seed=0, backend="fo", rounding="argmax", warm_start=warm_start
+        )
+        warm = planner.plan(problem)
+        assert planner.last_solver_info["warm_start"] == "hit"
+        assert planner.last_solver_info["warm_hits"] == problem.num_objects
+        assert warm.from_cache is False

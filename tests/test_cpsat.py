@@ -1,0 +1,55 @@
+"""Tests for the optional CP-SAT exact backend (repro.lpsolve.cpsat_backend).
+
+The ``ortools`` dependency is optional (the ``repro[exact]`` extra) and
+absent from CI, so the solver tests skip without it while the graceful
+degradation paths — the install-hint error and the guarded registry
+entry — are asserted either way.
+"""
+
+import pytest
+
+from repro.core.strategies import available_planners
+from repro.exceptions import SolverError
+from repro.gap import gap_instance
+from repro.lpsolve.cpsat_backend import HAS_ORTOOLS, solve_placement_cpsat
+
+
+class TestWithoutOrtools:
+    def test_missing_dependency_raises_install_hint(self):
+        if HAS_ORTOOLS:
+            pytest.skip("ortools installed; degradation path unreachable")
+        with pytest.raises(SolverError, match="repro\\[exact\\]"):
+            solve_placement_cpsat(gap_instance(0, 0, objects=6))
+
+    def test_registry_matches_availability(self):
+        # The planner is only registered when it can actually plan, so
+        # iterating available_planners() never hits a SolverError.
+        assert ("exact:cpsat" in available_planners()) == HAS_ORTOOLS
+
+
+class TestWithOrtools:
+    @pytest.fixture(autouse=True)
+    def _require_ortools(self):
+        pytest.importorskip("ortools")
+
+    def test_matches_branch_and_bound(self):
+        from repro.core.exact import solve_exact
+
+        for index in range(3):
+            problem = gap_instance(1, index, objects=8, nodes=3)
+            exact = solve_exact(problem)
+            cpsat = solve_placement_cpsat(problem, seed=1)
+            assert cpsat.cost == pytest.approx(exact.cost, abs=1e-6)
+            assert cpsat.optimal
+
+    def test_bound_is_consistent(self):
+        problem = gap_instance(2, 0, objects=8, nodes=3)
+        solution = solve_placement_cpsat(problem, seed=2)
+        assert solution.objective_bound <= solution.cost + 1e-6
+
+    def test_validation(self):
+        problem = gap_instance(0, 0, objects=6)
+        with pytest.raises(ValueError):
+            solve_placement_cpsat(problem, workers=0)
+        with pytest.raises(ValueError):
+            solve_placement_cpsat(problem, time_limit=0.0)

@@ -1,0 +1,233 @@
+"""Tests for the first-order backend (repro.lpsolve.firstorder).
+
+The vectorized simplex projection is property-tested against a scalar
+loop oracle; the solver itself is checked for feasibility, byte-level
+reproducibility, bounded cost against the HiGHS LPRR pipeline, and the
+warm-start fast path that powers cheap online replans.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lp import WarmStart
+from repro.core.problem import PlacementProblem
+from repro.core.strategies import PlanConfig, plan
+from repro.gap import gap_instance
+from repro.lpsolve.firstorder import (
+    FirstOrderOptions,
+    _project_row_simplex_loop,
+    project_rows_to_simplex,
+    solve_first_order,
+)
+
+
+def _solver_inputs(problem):
+    """Unpack a PlacementProblem into solve_first_order arguments."""
+    return (
+        problem.sizes,
+        problem.capacities,
+        problem.pair_index,
+        problem.pair_weights,
+        problem.num_nodes,
+    )
+
+
+class TestSimplexProjection:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        seed=st.integers(0, 100_000),
+        rows=st.integers(1, 8),
+        cols=st.integers(1, 6),
+    )
+    def test_matches_loop_oracle(self, seed, rows, cols):
+        rng = np.random.default_rng(seed)
+        matrix = rng.normal(scale=3.0, size=(rows, cols))
+        fast = project_rows_to_simplex(matrix)
+        for i in range(rows):
+            slow = _project_row_simplex_loop(matrix[i])
+            np.testing.assert_allclose(fast[i], slow, atol=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_output_is_on_simplex(self, seed):
+        rng = np.random.default_rng(seed)
+        projected = project_rows_to_simplex(rng.normal(size=(6, 4)) * 10)
+        assert (projected >= 0).all()
+        np.testing.assert_allclose(projected.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_already_on_simplex_is_fixed_point(self):
+        x = np.array([[0.2, 0.3, 0.5], [1.0, 0.0, 0.0]])
+        np.testing.assert_allclose(project_rows_to_simplex(x), x, atol=1e-12)
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError, match="2-D"):
+            project_rows_to_simplex(np.zeros(3))
+
+
+class TestOptionsValidation:
+    def test_defaults_valid(self):
+        FirstOrderOptions()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_iterations": 0},
+            {"check_every": 0},
+            {"tolerance": -1.0},
+            {"damping": 0.0},
+            {"damping": 1.5},
+            {"cool_fraction": 0.0},
+            {"temperature_min": 0.0},
+            {"temperature": 0.001, "temperature_min": 0.01},
+        ],
+    )
+    def test_bad_options_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            FirstOrderOptions(**kwargs)
+
+
+class TestSolveFirstOrder:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 50_000))
+    def test_rows_stay_on_simplex(self, seed):
+        problem = gap_instance(seed, 0, objects=10, nodes=3)
+        solution = solve_first_order(*_solver_inputs(problem))
+        assert solution.fractions.shape == (10, 3)
+        assert (solution.fractions >= 0).all()
+        np.testing.assert_allclose(
+            solution.fractions.sum(axis=1), 1.0, atol=1e-9
+        )
+        assert solution.objective >= -1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 50_000))
+    def test_byte_reproducible(self, seed):
+        problem = gap_instance(seed, 1, objects=10, nodes=3)
+        first = solve_first_order(*_solver_inputs(problem))
+        second = solve_first_order(*_solver_inputs(problem))
+        assert first.fractions.tobytes() == second.fractions.tobytes()
+        assert first.iterations == second.iterations
+        assert first.objective == second.objective
+
+    def test_no_pairs_short_circuits(self):
+        problem = PlacementProblem.build(
+            {"a": 1.0, "b": 1.0}, 2, {}
+        )
+        solution = solve_first_order(*_solver_inputs(problem))
+        assert solution.iterations == 0
+        assert solution.converged
+        assert solution.objective == 0.0
+
+    def test_clustered_instance_colocates(self):
+        # Two tight clusters, two nodes with room for one cluster each:
+        # the annealed solve should find the zero-cost split.
+        problem = PlacementProblem.build(
+            {"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0},
+            {0: 2.0, 1: 2.0},
+            {("a", "b"): 5.0, ("c", "d"): 5.0},
+        )
+        solution = solve_first_order(*_solver_inputs(problem))
+        assignment = np.argmax(solution.fractions, axis=1)
+        assert assignment[0] == assignment[1]
+        assert assignment[2] == assignment[3]
+        assert assignment[0] != assignment[2]
+
+    def test_bad_x0_shape_rejected(self):
+        problem = gap_instance(0, 0, objects=8, nodes=3)
+        with pytest.raises(ValueError, match="shape"):
+            solve_first_order(
+                *_solver_inputs(problem), x0=np.full((2, 2), 0.5)
+            )
+
+
+class TestPlannerEquivalence:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 20_000))
+    def test_fo_plans_are_feasible(self, seed):
+        problem = gap_instance(seed, 2, objects=12, nodes=3)
+        # capacity_factor=None plans against the instance's real caps
+        # instead of the conservative 2x-average default.
+        result = plan(
+            problem, "lprr:fo", PlanConfig(seed=seed, capacity_factor=None)
+        )
+        assert result.placement.is_feasible(tolerance=0.05)
+        assert result.planner == "lprr:fo"
+        assert result.diagnostics["fo_iterations"] >= 1
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 20_000))
+    def test_fo_cost_tracks_lprr(self, seed):
+        # On small clustered instances the annealed solve should land
+        # within a generous factor of the HiGHS LPRR pipeline; exact
+        # parity is measured by the gap harness, not asserted here.
+        problem = gap_instance(seed, 3, objects=12, nodes=3)
+        config = PlanConfig(seed=seed)
+        lprr_cost = plan(problem, "lprr", config).cost
+        fo_cost = plan(problem, "lprr:fo", config).cost
+        total = float(np.sum(problem.pair_weights))
+        assert fo_cost <= lprr_cost + 0.5 * total
+
+    def test_planner_deterministic(self):
+        problem = gap_instance(7, 4, objects=12, nodes=3)
+        config = PlanConfig(seed=7)
+        first = plan(problem, "lprr:fo", config)
+        second = plan(problem, "lprr:fo", config)
+        assert np.array_equal(
+            first.placement.assignment, second.placement.assignment
+        )
+        assert first.cost == second.cost
+
+
+class TestWarmStart:
+    def test_warm_solve_converges_faster(self):
+        problem = gap_instance(3, 5, objects=16, nodes=4)
+        cold = solve_first_order(*_solver_inputs(problem))
+        warm = solve_first_order(
+            *_solver_inputs(problem), x0=cold.fractions, warm=True
+        )
+        assert warm.iterations < cold.iterations
+        assert warm.objective <= cold.objective + 1e-6
+
+    def test_planner_warm_start_hit(self):
+        problem = gap_instance(11, 6, objects=16, nodes=4)
+        config = PlanConfig(seed=11, capacity_factor=None)
+        cold = plan(problem, "lprr:fo", config)
+        assert cold.fractional is not None
+        assert cold.diagnostics["warm_start"] == "off"
+        warm_start = WarmStart.from_fractional(cold.fractional)
+        warm = plan(
+            problem, "lprr:fo", config.with_options(warm_start=warm_start)
+        )
+        assert warm.diagnostics["warm_start"] == "hit"
+        assert warm.diagnostics["warm_hits"] == problem.num_objects
+        assert (
+            warm.diagnostics["fo_iterations"]
+            <= cold.diagnostics["fo_iterations"]
+        )
+        assert warm.placement.is_feasible(tolerance=0.05)
+
+    def test_warm_start_survives_object_churn(self):
+        base = gap_instance(5, 7, objects=12, nodes=3)
+        cold = plan(base, "lprr:fo", PlanConfig(seed=5))
+        warm_start = WarmStart.from_fractional(cold.fractional)
+        # A different instance over the same nodes but a partially
+        # disjoint object set: matched objects hit, the rest miss.
+        x0, hits = warm_start.matrix(base)
+        assert hits == base.num_objects
+        assert x0.shape == (base.num_objects, base.num_nodes)
+        np.testing.assert_allclose(x0.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_disjoint_nodes_cold_start(self):
+        base = gap_instance(5, 8, objects=10, nodes=3)
+        cold = plan(base, "lprr:fo", PlanConfig(seed=5))
+        warm_start = WarmStart.from_fractional(cold.fractional)
+        other = PlacementProblem.build(
+            {f"x{i}": 1.0 for i in range(4)},
+            {"other-a": 10.0, "other-b": 10.0},
+            {("x0", "x1"): 1.0},
+        )
+        x0, hits = warm_start.matrix(other)
+        assert x0 is None
+        assert hits == 0

@@ -593,3 +593,48 @@ class TestOnlineConfigValidation:
     def test_empty_sizes_raise(self):
         with pytest.raises(ValueError, match="at least one object"):
             OnlinePlanner({}, OnlineConfig(num_nodes=2))
+
+
+class TestOnlineWarmStart:
+    """Replans with the first-order backend reuse the previous solve."""
+
+    def fo_config(self):
+        base = online_config()
+        return OnlineConfig(
+            num_nodes=base.num_nodes,
+            window_s=base.window_s,
+            sketch_width=base.sketch_width,
+            sketch_depth=base.sketch_depth,
+            heavy_hitters=base.heavy_hitters,
+            decay=base.decay,
+            thresholds=base.thresholds,
+            budget_fraction=base.budget_fraction,
+            planning=PlanConfig(seed=0, backend="fo"),
+        )
+
+    def test_replan_consumes_previous_fractions(self):
+        from repro import obs
+
+        inst = obs.enable(obs.Instrumentation())
+        try:
+            planner = OnlinePlanner(SIZES, self.fo_config())
+            report = planner.run(shifting_stream())
+            assert report.replans >= 1
+            # Bootstrap left a warm start behind and the replan hit it.
+            assert planner._warm_start is not None
+            hits = inst.metrics.counter("online.warm_start_hits").value
+            assert hits >= 1
+        finally:
+            obs.disable()
+
+    def test_warm_start_does_not_change_determinism(self):
+        a = OnlinePlanner(SIZES, self.fo_config()).run(shifting_stream())
+        b = OnlinePlanner(SIZES, self.fo_config()).run(shifting_stream())
+        assert a.to_json() == b.to_json()
+
+    def test_other_backends_skip_warm_start_plumbing(self):
+        planner = OnlinePlanner(SIZES, online_config())
+        config = planner._planning_config()
+        # Default backend is not "fo": no warm start is attached even
+        # after a plan has been remembered.
+        assert config.warm_start is None

@@ -325,7 +325,7 @@ class TestFallbackChain:
         assert all(s["outcome"] == "skipped" for s in chain[1:])
         assert result.diagnostics["degraded"] is False
 
-    def test_scipy_failure_falls_back_to_simplex(self, problem, monkeypatch):
+    def test_scipy_failure_falls_back_to_first_order(self, problem, monkeypatch):
         import repro.lpsolve.scipy_backend as scipy_backend
 
         def broken(*args, **kwargs):
@@ -336,7 +336,33 @@ class TestFallbackChain:
         chain = result.diagnostics["fallback_chain"]
         assert chain[0]["outcome"] == "failed"
         assert "forced scipy failure" in chain[0]["detail"]
-        assert chain[1] == {"step": "lprr:simplex", "outcome": "ok", "detail": ""}
+        assert chain[1] == {"step": "lprr:fo", "outcome": "ok", "detail": ""}
+        assert result.diagnostics["delegate"] == "lprr:fo"
+        assert result.diagnostics["degraded"] is False
+        assert result.placement.is_feasible()
+
+    def test_scipy_and_fo_failure_falls_back_to_simplex(
+        self, problem, monkeypatch
+    ):
+        import repro.lpsolve.firstorder as firstorder
+        import repro.lpsolve.scipy_backend as scipy_backend
+
+        monkeypatch.setattr(
+            scipy_backend,
+            "solve_with_scipy",
+            lambda *a, **k: (_ for _ in ()).throw(SolverError("scipy down")),
+        )
+        monkeypatch.setattr(
+            firstorder,
+            "solve_first_order",
+            lambda *a, **k: (_ for _ in ()).throw(SolverError("fo down")),
+        )
+        result = plan_with_fallbacks(problem, config=PlanConfig())
+        chain = result.diagnostics["fallback_chain"]
+        assert chain[0]["outcome"] == "failed"
+        assert chain[1]["step"] == "lprr:fo"
+        assert chain[1]["outcome"] == "failed"
+        assert chain[2] == {"step": "lprr:simplex", "outcome": "ok", "detail": ""}
         assert result.diagnostics["delegate"] == "lprr"
         assert result.placement.is_feasible()
 
@@ -352,6 +378,7 @@ class TestFallbackChain:
         assert result.planner == "resilient"
         assert [s["step"] for s in result.diagnostics["fallback_chain"]] == [
             "lprr:auto",
+            "lprr:fo",
             "lprr:simplex",
             "stream:greedy",
             "greedy",
@@ -371,6 +398,7 @@ class TestFallbackChain:
         assert result.diagnostics["degraded"] is True
         chain = {s["step"]: s["outcome"] for s in result.diagnostics["fallback_chain"]}
         assert chain["lprr:auto"] == "failed"
+        assert chain["lprr:fo"] == "failed"
         assert chain["lprr:simplex"] == "failed"
         assert chain["stream:greedy"] == "ok"
         assert chain["greedy"] == "skipped"
@@ -386,7 +414,7 @@ class TestFallbackChain:
             "outcome": "skipped",
             "detail": "circuit open",
         }
-        assert result.diagnostics["delegate"] == "lprr"  # simplex carried it
+        assert result.diagnostics["delegate"] == "lprr:fo"  # fo carried it
 
     def test_large_problem_skips_simplex(self, monkeypatch):
         rng = np.random.default_rng(0)
@@ -412,7 +440,9 @@ class TestFallbackChain:
         chain = {s["step"]: s for s in result.diagnostics["fallback_chain"]}
         assert chain["lprr:simplex"]["outcome"] == "skipped"
         assert "too large" in chain["lprr:simplex"]["detail"]
-        assert result.diagnostics["delegate"] == "stream:greedy"
+        # The first-order backend has no size ceiling, so it carries
+        # the plan where simplex cannot.
+        assert result.diagnostics["delegate"] == "lprr:fo"
 
     def test_lp_limits_surface_as_solver_error(self, problem):
         from repro.core.lp import solve_placement_lp
